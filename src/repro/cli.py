@@ -1,0 +1,256 @@
+"""Command-line interface: ``repro-dpm`` (or ``python -m repro``).
+
+Subcommands
+-----------
+
+``table2``
+    Reproduce the paper's Table 2 (all rows or a subset) and print the
+    measured values next to the paper's.
+``scenario``
+    Run a single scenario under a chosen DPM setup and print the detailed
+    per-IP results.
+``rules``
+    Print the Table-1 rule table, or evaluate it for one input combination.
+``sweep``
+    Run the battery x temperature condition sweep.
+``speed``
+    Measure the simulation speed (the paper's Kcycle/s figure).
+``breakeven``
+    Print the break-even times of the default IP characterisation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.analysis.report import format_table, render_comparison
+from repro.battery.status import BatteryLevel
+from repro.dpm.controller import DpmSetup
+from repro.dpm.rules import paper_rule_table
+from repro.power.breakeven import BreakEvenAnalyzer
+from repro.power.characterization import default_characterization
+from repro.power.transitions import default_transition_table
+from repro.sim.simtime import ms
+from repro.soc.task import TaskPriority
+from repro.thermal.level import TemperatureLevel
+
+__all__ = ["main", "build_parser"]
+
+_SETUPS = {
+    "paper": DpmSetup.paper,
+    "always-on": DpmSetup.always_on,
+    "greedy-sleep": DpmSetup.greedy_sleep,
+    "oracle": DpmSetup.oracle,
+    "fixed-timeout": lambda: DpmSetup.fixed_timeout(ms(2)),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-dpm",
+        description=(
+            "Reproduction of 'SystemC Analysis of a New Dynamic Power Management "
+            "Architecture' (DATE 2005): ACPI-style PSMs, local/global energy "
+            "managers, battery and thermal models on a discrete-event kernel."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    subparsers = parser.add_subparsers(dest="command")
+
+    table2 = subparsers.add_parser("table2", help="reproduce the paper's Table 2")
+    table2.add_argument(
+        "scenarios",
+        nargs="*",
+        help="subset of rows to run (A1 A2 A3 A4 B C); default: all",
+    )
+    table2.add_argument(
+        "--setup",
+        choices=sorted(_SETUPS),
+        default="paper",
+        help="DPM configuration to evaluate against the always-on baseline",
+    )
+
+    scenario = subparsers.add_parser("scenario", help="run one scenario in detail")
+    scenario.add_argument("name", help="scenario id (A1..A4, B, C)")
+    scenario.add_argument("--setup", choices=sorted(_SETUPS), default="paper")
+
+    rules = subparsers.add_parser("rules", help="print or query the Table-1 rules")
+    rules.add_argument("--priority", choices=[p.value for p in TaskPriority])
+    rules.add_argument("--battery", choices=[b.value for b in BatteryLevel])
+    rules.add_argument("--temperature", choices=[t.value for t in TemperatureLevel])
+
+    sweep = subparsers.add_parser("sweep", help="battery x temperature condition sweep")
+    sweep.add_argument("--tasks", type=int, default=20, help="tasks per scenario")
+
+    subparsers.add_parser("speed", help="measure simulation speed (Kcycle/s)")
+
+    subparsers.add_parser("breakeven", help="break-even times of the default IP")
+
+    report = subparsers.add_parser(
+        "report", help="write a markdown reproduction report (Table 2 + breakdowns)"
+    )
+    report.add_argument("scenarios", nargs="*", help="subset of rows; default: all")
+    report.add_argument("-o", "--output", default=None, help="output file (default: stdout)")
+    report.add_argument("--with-speed", action="store_true", help="include the Kcycle/s figure")
+
+    return parser
+
+
+def _cmd_table2(args) -> int:
+    from repro.experiments.scenarios import paper_scenarios, scenario_by_name
+    from repro.experiments.table2 import reproduce_table2
+
+    if args.scenarios:
+        scenarios = [scenario_by_name(name) for name in args.scenarios]
+    else:
+        scenarios = paper_scenarios()
+    results = reproduce_table2(scenarios, dpm=_SETUPS[args.setup]())
+    print(render_comparison(results))
+    return 0
+
+
+def _cmd_scenario(args) -> int:
+    from repro.experiments.runner import run_comparison, run_scenario
+    from repro.experiments.scenarios import scenario_by_name
+
+    scenario = scenario_by_name(args.name)
+    setup = _SETUPS[args.setup]()
+    metrics = run_comparison(scenario, dpm=setup)
+    print(f"Scenario {scenario.name}: {scenario.description}")
+    print(f"DPM setup: {setup.name}\n")
+    rows = [
+        ["energy saving (%)", f"{metrics.energy_saving_pct:.1f}"],
+        ["temperature reduction (%)", f"{metrics.temperature_reduction_pct:.1f}"],
+        ["average delay overhead (%)", f"{metrics.average_delay_overhead_pct:.1f}"],
+        ["tasks executed", str(metrics.tasks_executed)],
+        ["simulated time (ms)", f"{metrics.simulated_time_s * 1e3:.1f}"],
+        ["DPM energy (mJ)", f"{metrics.dpm_energy_j * 1e3:.2f}"],
+        ["baseline energy (mJ)", f"{metrics.baseline_energy_j * 1e3:.2f}"],
+    ]
+    print(format_table(["metric", "value"], rows))
+    if metrics.per_ip:
+        print("\nPer IP:")
+        ip_rows = [
+            [name, int(stats["tasks"]), f"{stats['energy_j'] * 1e3:.2f}",
+             f"{stats['mean_delay_overhead_pct']:.0f}", int(stats["transitions"])]
+            for name, stats in sorted(metrics.per_ip.items())
+        ]
+        print(format_table(["IP", "tasks", "energy (mJ)", "delay (%)", "transitions"], ip_rows))
+    return 0
+
+
+def _cmd_rules(args) -> int:
+    table = paper_rule_table()
+    if args.priority and args.battery and args.temperature:
+        state = table.select_levels(
+            TaskPriority(args.priority),
+            BatteryLevel(args.battery),
+            TemperatureLevel(args.temperature),
+        )
+        print(
+            f"priority={args.priority}, battery={args.battery}, "
+            f"temperature={args.temperature} -> {state}"
+        )
+        return 0
+    if args.priority or args.battery or args.temperature:
+        print("error: --priority, --battery and --temperature must be given together",
+              file=sys.stderr)
+        return 2
+    print(table.describe())
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.experiments.sweep import condition_sweep
+
+    results = condition_sweep(task_count=args.tasks)
+    rows = [
+        [metrics.scenario, f"{metrics.energy_saving_pct:.1f}",
+         f"{metrics.temperature_reduction_pct:.1f}",
+         f"{metrics.average_delay_overhead_pct:.1f}"]
+        for metrics in results
+    ]
+    print(
+        format_table(
+            ["battery/temperature", "energy saving (%)", "temp. reduction (%)", "delay (%)"],
+            rows,
+            title="Condition sweep (paper DPM vs always-on)",
+        )
+    )
+    return 0
+
+
+def _cmd_speed(_args) -> int:
+    from repro.experiments.table2 import simulation_speed, simulation_speed_report
+
+    print(simulation_speed_report(simulation_speed()))
+    return 0
+
+
+def _cmd_breakeven(_args) -> int:
+    characterization = default_characterization()
+    transitions = default_transition_table(
+        reference_power_w=characterization.active_power_w(
+            characterization.operating_points.fastest.state
+        )
+    )
+    analyzer = BreakEvenAnalyzer(characterization, transitions)
+    rows = [
+        [str(entry.state),
+         f"{entry.round_trip_latency.seconds * 1e6:.0f}",
+         f"{entry.round_trip_energy_j * 1e6:.2f}",
+         "-" if entry.break_even is None else f"{entry.break_even.seconds * 1e6:.0f}"]
+        for entry in analyzer.entries
+    ]
+    print(format_table(["state", "round trip (us)", "round trip (uJ)", "break-even (us)"], rows))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.export import markdown_report
+    from repro.experiments.scenarios import paper_scenarios, scenario_by_name
+    from repro.experiments.table2 import reproduce_table2, simulation_speed
+
+    if args.scenarios:
+        scenarios = [scenario_by_name(name) for name in args.scenarios]
+    else:
+        scenarios = paper_scenarios()
+    results = reproduce_table2(scenarios)
+    speeds = simulation_speed(scenarios) if args.with_speed else None
+    text = markdown_report(results, speeds=speeds)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+_COMMANDS = {
+    "table2": _cmd_table2,
+    "scenario": _cmd_scenario,
+    "rules": _cmd_rules,
+    "sweep": _cmd_sweep,
+    "speed": _cmd_speed,
+    "breakeven": _cmd_breakeven,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 0
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

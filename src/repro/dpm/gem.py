@@ -1,0 +1,246 @@
+"""The Global Energy Manager (GEM).
+
+The GEM (paper, section 1.4) receives resource requests from all IPs,
+assigns a *static priority* to each of them, tells every LEM how much energy
+the other IP blocks have requested, and gates the LEMs with the paper's
+intentionally simple algorithm::
+
+    if (battery is Medium or High or Full) and (temperature is Low or Medium):
+        enable every IP
+    elif (battery is Empty or Low) and (temperature is Low or Medium):
+        enable IPs with high priority
+    else:
+        do not enable any IP
+        switch on a supplementary fan
+
+Interpretation notes (documented in ``DESIGN.md``):
+
+* "IPs with high priority" is implemented as: IPs whose static priority is
+  within the best ``high_priority_count`` ranks are always enabled; a
+  lower-priority IP is additionally enabled as soon as *no* higher-priority
+  IP has a pending or running task (a work-conserving reading that keeps the
+  delay of low-priority IPs finite, as in the paper's Table 2 where all IPs
+  complete their sequences).
+* "The GEM can force each PSM in Sleep1 state if the resources are limited
+  and the IP has low priority" — whenever an IP is not enabled and is idle,
+  its LEM is asked to park the PSM in ``SL1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.battery.status import BatteryLevel
+from repro.errors import ConfigurationError
+from repro.power.states import PowerState
+from repro.sim.kernel import Kernel
+from repro.sim.module import Module
+from repro.sim.simtime import SimTime, us
+from repro.thermal.fan import Fan
+from repro.thermal.level import TemperatureLevel
+
+__all__ = ["GemConfig", "GlobalEnergyManager"]
+
+
+@dataclass
+class GemConfig:
+    """Tunable parameters of the Global Energy Manager."""
+
+    #: number of top static-priority ranks that stay enabled when resources
+    #: are limited (battery Empty/Low with acceptable temperature)
+    high_priority_count: int = 2
+    #: polling interval of the periodic re-evaluation (safety net; the GEM
+    #: also re-evaluates on every request, completion and sensor change)
+    evaluation_interval: SimTime = us(500)
+    #: state the GEM forces on disabled, idle IPs
+    forced_state: PowerState = PowerState.SL1
+
+    def __post_init__(self) -> None:
+        if self.high_priority_count < 1:
+            raise ConfigurationError("at least one priority rank must stay enabled")
+        if self.evaluation_interval.is_zero:
+            raise ConfigurationError("evaluation interval must be positive")
+        if self.forced_state.is_on:
+            raise ConfigurationError("the forced state must be a sleep/off state")
+
+
+class GlobalEnergyManager(Module):
+    """SoC-level energy manager gating the per-IP LEMs."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        name: str,
+        battery_monitor,
+        temperature_sensor,
+        fan: Optional[Fan] = None,
+        config: Optional[GemConfig] = None,
+        parent: Optional[Module] = None,
+    ) -> None:
+        super().__init__(kernel, name, parent)
+        self.battery_monitor = battery_monitor
+        self.temperature_sensor = temperature_sensor
+        self.fan = fan
+        self.config = config or GemConfig()
+        self.enable_changed = self.event("enable_changed")
+        self._lems: Dict[str, object] = {}
+        self._priorities: Dict[str, int] = {}
+        self._enabled: Dict[str, bool] = {}
+        self._pending_energy: Dict[str, float] = {}
+        self._evaluations = 0
+        self._fan_activations = 0
+        self.add_thread(self._periodic_evaluation, name="evaluate")
+        self.add_method(
+            self._on_sensor_change,
+            sensitivity=[
+                battery_monitor.level_signal.changed_event,
+                temperature_sensor.level_signal.changed_event,
+            ],
+            name="sensor_watch",
+            dont_initialize=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_lem(self, lem, static_priority: int) -> None:
+        """Register a LEM under its IP name with a static priority (1 = highest)."""
+        ip_name = lem.ip_name
+        if ip_name in self._lems:
+            raise ConfigurationError(f"an LEM for IP {ip_name!r} is already registered")
+        if static_priority < 1:
+            raise ConfigurationError("static priority must be >= 1")
+        self._lems[ip_name] = lem
+        self._priorities[ip_name] = static_priority
+        self._enabled[ip_name] = True
+        self._pending_energy[ip_name] = 0.0
+        self.evaluate()
+
+    @property
+    def ip_names(self) -> List[str]:
+        """Registered IP names."""
+        return list(self._lems)
+
+    def priority_of(self, ip_name: str) -> int:
+        """Static priority of ``ip_name`` (1 is the highest)."""
+        try:
+            return self._priorities[ip_name]
+        except KeyError:
+            raise ConfigurationError(f"IP {ip_name!r} is not registered with the GEM") from None
+
+    # ------------------------------------------------------------------
+    # Resource requests
+    # ------------------------------------------------------------------
+    def register_request(self, ip_name: str, estimated_energy_j: float) -> None:
+        """A LEM forwards a task request with its estimated energy."""
+        if ip_name not in self._lems:
+            raise ConfigurationError(f"IP {ip_name!r} is not registered with the GEM")
+        if estimated_energy_j < 0.0:
+            raise ConfigurationError("estimated energy must be non-negative")
+        self._pending_energy[ip_name] = estimated_energy_j
+        self.evaluate()
+
+    def clear_request(self, ip_name: str) -> None:
+        """The LEM reports that the IP's task finished."""
+        if ip_name not in self._lems:
+            raise ConfigurationError(f"IP {ip_name!r} is not registered with the GEM")
+        self._pending_energy[ip_name] = 0.0
+        self.evaluate()
+
+    def pending_energy_excluding(self, ip_name: str) -> float:
+        """Energy requested by every IP except ``ip_name`` (paper, section 1.4)."""
+        return sum(energy for name, energy in self._pending_energy.items() if name != ip_name)
+
+    # ------------------------------------------------------------------
+    # Enable algorithm
+    # ------------------------------------------------------------------
+    def is_enabled(self, ip_name: str) -> bool:
+        """True when the GEM currently allows ``ip_name`` to execute."""
+        return self._enabled.get(ip_name, True)
+
+    @property
+    def enabled_map(self) -> Dict[str, bool]:
+        """Copy of the current enable decision per IP."""
+        return dict(self._enabled)
+
+    @property
+    def evaluation_count(self) -> int:
+        """Number of times the enable algorithm ran."""
+        return self._evaluations
+
+    @property
+    def fan_activations(self) -> int:
+        """Number of times the supplementary fan was switched on."""
+        return self._fan_activations
+
+    def evaluate(self) -> None:
+        """Run the paper's enable algorithm once."""
+        self._evaluations += 1
+        battery = self.battery_monitor.battery.level
+        temperature = self.temperature_sensor.model.level
+        temp_ok = temperature in (TemperatureLevel.LOW, TemperatureLevel.MEDIUM)
+        battery_ok = battery in (
+            BatteryLevel.MEDIUM,
+            BatteryLevel.HIGH,
+            BatteryLevel.FULL,
+            BatteryLevel.AC_POWER,
+        )
+        battery_poor = battery in (BatteryLevel.EMPTY, BatteryLevel.LOW)
+        if battery_ok and temp_ok:
+            new_enabled = {name: True for name in self._lems}
+            fan_on = False
+        elif battery_poor and temp_ok:
+            new_enabled = self._enable_high_priority()
+            fan_on = False
+        else:
+            new_enabled = {name: False for name in self._lems}
+            fan_on = True
+        self._apply(new_enabled, fan_on)
+
+    def _enable_high_priority(self) -> Dict[str, bool]:
+        ranked = sorted(self._priorities.items(), key=lambda item: item[1])
+        allowed_ranks = {
+            priority for _, priority in ranked[: self.config.high_priority_count]
+        }
+        enabled: Dict[str, bool] = {}
+        for name, priority in self._priorities.items():
+            if priority in allowed_ranks:
+                enabled[name] = True
+            else:
+                # Work-conserving reading of "enable IPs with high priority":
+                # a low-priority IP may proceed as long as no higher-priority
+                # IP is waiting for a grant (see the module docstring).
+                higher_waiting = any(
+                    self._lems[other].has_pending_request
+                    for other, other_priority in self._priorities.items()
+                    if other != name and other_priority < priority
+                )
+                enabled[name] = not higher_waiting
+        return enabled
+
+    def _apply(self, new_enabled: Dict[str, bool], fan_on: bool) -> None:
+        changed = new_enabled != self._enabled
+        self._enabled = new_enabled
+        if self.fan is not None:
+            if fan_on and not self.fan.is_on:
+                self._fan_activations += 1
+            self.fan.set_on(fan_on)
+        for name, enabled in new_enabled.items():
+            if not enabled:
+                lem = self._lems[name]
+                if not lem.is_busy:
+                    lem.force_low_power(self.config.forced_state)
+        if changed:
+            self.enable_changed.notify()
+
+    # ------------------------------------------------------------------
+    # Processes
+    # ------------------------------------------------------------------
+    def _periodic_evaluation(self):
+        while True:
+            yield self.config.evaluation_interval
+            self.evaluate()
+
+    def _on_sensor_change(self) -> None:
+        self.evaluate()

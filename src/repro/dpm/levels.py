@@ -1,0 +1,44 @@
+"""Coded input classes of the DPM rules.
+
+The LEM rules consume three quantised inputs (paper, section 1.3):
+
+* task priority — 4 classes (:class:`~repro.soc.task.TaskPriority`);
+* battery status — 5 classes plus the mains-power case
+  (:class:`~repro.battery.status.BatteryLevel`);
+* chip temperature — 3 classes (:class:`~repro.thermal.level.TemperatureLevel`).
+
+This module re-exports them under one roof and provides the
+:class:`RuleContext` value object the rule engine evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.battery.status import BatteryLevel
+from repro.soc.task import TaskPriority
+from repro.thermal.level import TemperatureLevel
+
+__all__ = ["BatteryLevel", "TaskPriority", "TemperatureLevel", "RuleContext"]
+
+
+@dataclass(frozen=True)
+class RuleContext:
+    """The quantised situation in which a power state must be selected.
+
+    The battery and temperature values are the *estimated* levels at the end
+    of the task (the LEM projects them before applying the rules), plus the
+    energy already requested by the other IP blocks, which the GEM reports.
+    """
+
+    priority: TaskPriority
+    battery: BatteryLevel
+    temperature: TemperatureLevel
+    other_ip_energy_j: float = 0.0
+
+    def describe(self) -> str:
+        """Human-readable one-liner, used in traces and error messages."""
+        return (
+            f"priority={self.priority}, battery={self.battery}, "
+            f"temperature={self.temperature}, other_ip_energy={self.other_ip_energy_j:.3e} J"
+        )

@@ -1,0 +1,283 @@
+"""The power-state selection rule engine (Table 1 of the paper).
+
+The LEM chooses the ON state of each task from "expressions of the natural
+language, as in the fuzzy rules": *if the priority is high and the battery is
+empty then the power state is ON4*.  Here each such expression is a
+:class:`Rule` — a set of accepted priorities, battery levels and temperature
+levels (``None`` meaning "don't care") plus the selected state — and a
+:class:`RuleTable` evaluates an ordered list of rules with first-match
+semantics.
+
+:func:`paper_rule_table` reproduces Table 1 verbatim, in row order, followed
+by three completion rules documented in ``DESIGN.md``: as printed, the
+paper's table does not cover the (battery >= Medium, temperature = Medium)
+corner, so the library falls back to one step slower than the
+temperature-Low choice and finally to ``ON4``.  The completion rules never
+fire in the paper's scenarios (they use battery Full/Low and temperature
+Low/High only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.battery.status import BatteryLevel
+from repro.dpm.levels import RuleContext
+from repro.errors import RuleError
+from repro.power.states import PowerState
+from repro.soc.task import TaskPriority
+from repro.thermal.level import TemperatureLevel
+
+__all__ = ["Rule", "RuleTable", "paper_rule_table"]
+
+# Short aliases used when building the paper's table, mirroring its notation.
+_P = TaskPriority
+_B = BatteryLevel
+_T = TemperatureLevel
+_S = PowerState
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One row of the selection table.
+
+    ``priorities``, ``batteries`` and ``temperatures`` are the accepted input
+    classes; ``None`` is a wildcard ("-" in the paper's Table 1).
+    """
+
+    state: PowerState
+    priorities: Optional[FrozenSet[TaskPriority]] = None
+    batteries: Optional[FrozenSet[BatteryLevel]] = None
+    temperatures: Optional[FrozenSet[TemperatureLevel]] = None
+    label: str = ""
+
+    @staticmethod
+    def of(
+        state: PowerState,
+        priorities: Optional[Iterable[TaskPriority]] = None,
+        batteries: Optional[Iterable[BatteryLevel]] = None,
+        temperatures: Optional[Iterable[TemperatureLevel]] = None,
+        label: str = "",
+    ) -> "Rule":
+        """Convenience constructor accepting any iterables (or ``None``)."""
+        return Rule(
+            state=state,
+            priorities=None if priorities is None else frozenset(priorities),
+            batteries=None if batteries is None else frozenset(batteries),
+            temperatures=None if temperatures is None else frozenset(temperatures),
+            label=label,
+        )
+
+    def matches(self, context: RuleContext) -> bool:
+        """True when this rule applies to ``context``."""
+        if self.priorities is not None and context.priority not in self.priorities:
+            return False
+        if self.batteries is not None and context.battery not in self.batteries:
+            return False
+        if self.temperatures is not None and context.temperature not in self.temperatures:
+            return False
+        return True
+
+    def describe(self) -> str:
+        """Human-readable rendering close to the paper's table notation."""
+
+        def fmt(values, order):
+            if values is None:
+                return "-"
+            return ",".join(str(v) for v in sorted(values, key=order))
+
+        return (
+            f"[{self.label or 'rule'}] priority({fmt(self.priorities, lambda p: -p.rank)}) "
+            f"battery({fmt(self.batteries, lambda b: -b.rank)}) "
+            f"temperature({fmt(self.temperatures, lambda t: t.rank)}) -> {self.state}"
+        )
+
+
+class RuleTable:
+    """Ordered list of rules with first-match-wins semantics."""
+
+    def __init__(self, rules: Sequence[Rule], name: str = "rules") -> None:
+        if not rules:
+            raise RuleError("a rule table needs at least one rule")
+        for rule in rules:
+            if not rule.state.is_on and not rule.state.is_sleep:
+                raise RuleError(f"rules may only select ON or sleep states, got {rule.state}")
+        self.name = name
+        self._rules: List[Rule] = list(rules)
+        self._hits: Dict[int, int] = {index: 0 for index in range(len(rules))}
+
+    # -- evaluation -------------------------------------------------------
+    def select(self, context: RuleContext) -> PowerState:
+        """Return the state of the first matching rule.
+
+        Raises
+        ------
+        RuleError
+            If no rule matches (the table is not total for this input).
+        """
+        for index, rule in enumerate(self._rules):
+            if rule.matches(context):
+                self._hits[index] += 1
+                return rule.state
+        raise RuleError(f"no rule matches context ({context.describe()}) in table {self.name!r}")
+
+    def select_levels(
+        self,
+        priority: TaskPriority,
+        battery: BatteryLevel,
+        temperature: TemperatureLevel,
+    ) -> PowerState:
+        """Convenience wrapper building the :class:`RuleContext`."""
+        return self.select(RuleContext(priority, battery, temperature))
+
+    # -- inspection ----------------------------------------------------------
+    @property
+    def rules(self) -> List[Rule]:
+        """The rules in evaluation order."""
+        return list(self._rules)
+
+    @property
+    def hit_counts(self) -> Dict[int, int]:
+        """How many times each rule (by index) has fired."""
+        return dict(self._hits)
+
+    def is_total(self) -> bool:
+        """True when every (priority, battery, temperature) combination matches."""
+        return not self.uncovered_contexts()
+
+    def uncovered_contexts(self) -> List[RuleContext]:
+        """All input combinations not covered by any rule."""
+        missing = []
+        for priority in TaskPriority:
+            for battery in BatteryLevel:
+                for temperature in TemperatureLevel:
+                    context = RuleContext(priority, battery, temperature)
+                    if not any(rule.matches(context) for rule in self._rules):
+                        missing.append(context)
+        return missing
+
+    def unreachable_rules(self) -> List[int]:
+        """Indices of rules shadowed by earlier rules for every input."""
+        unreachable = []
+        for index, rule in enumerate(self._rules):
+            reachable = False
+            for priority in TaskPriority:
+                for battery in BatteryLevel:
+                    for temperature in TemperatureLevel:
+                        context = RuleContext(priority, battery, temperature)
+                        if not rule.matches(context):
+                            continue
+                        earlier = any(
+                            self._rules[j].matches(context) for j in range(index)
+                        )
+                        if not earlier:
+                            reachable = True
+                            break
+                    if reachable:
+                        break
+                if reachable:
+                    break
+            if not reachable:
+                unreachable.append(index)
+        return unreachable
+
+    def describe(self) -> str:
+        """Printable rendering of the whole table."""
+        return "\n".join(rule.describe() for rule in self._rules)
+
+    # -- (de)serialisation ------------------------------------------------------
+    def as_dicts(self) -> List[dict]:
+        """Serializable representation (used to retarget the LEM per IP)."""
+        result = []
+        for rule in self._rules:
+            result.append(
+                {
+                    "state": str(rule.state),
+                    "priorities": None
+                    if rule.priorities is None
+                    else sorted(str(p) for p in rule.priorities),
+                    "batteries": None
+                    if rule.batteries is None
+                    else sorted(str(b) for b in rule.batteries),
+                    "temperatures": None
+                    if rule.temperatures is None
+                    else sorted(str(t) for t in rule.temperatures),
+                    "label": rule.label,
+                }
+            )
+        return result
+
+    @staticmethod
+    def from_dicts(entries: Iterable[dict], name: str = "rules") -> "RuleTable":
+        """Rebuild a table from :meth:`as_dicts` output."""
+        rules = []
+        for entry in entries:
+            rules.append(
+                Rule.of(
+                    state=PowerState.from_string(entry["state"]),
+                    priorities=None
+                    if entry.get("priorities") is None
+                    else [TaskPriority(p) for p in entry["priorities"]],
+                    batteries=None
+                    if entry.get("batteries") is None
+                    else [BatteryLevel(b) for b in entry["batteries"]],
+                    temperatures=None
+                    if entry.get("temperatures") is None
+                    else [TemperatureLevel(t) for t in entry["temperatures"]],
+                    label=entry.get("label", ""),
+                )
+            )
+        return RuleTable(rules, name=name)
+
+
+def paper_rule_table() -> RuleTable:
+    """The power-state selection algorithm of the paper's Table 1.
+
+    Rows appear in the paper's order (first match wins); the trailing
+    ``completion-*`` rules make the table total, see the module docstring.
+    """
+    very_high = [_P.VERY_HIGH]
+    not_very_high = [_P.HIGH, _P.MEDIUM, _P.LOW]
+    battery_mid_high = [_B.MEDIUM, _B.HIGH]
+    temp_low_medium = [_T.LOW, _T.MEDIUM]
+
+    rules = [
+        # V E - -> ON4
+        Rule.of(_S.ON4, very_high, [_B.EMPTY], None, label="t1-row1"),
+        # V - H -> ON4
+        Rule.of(_S.ON4, very_high, None, [_T.HIGH], label="t1-row2"),
+        # H,M,L E - -> SL1
+        Rule.of(_S.SL1, not_very_high, [_B.EMPTY], None, label="t1-row3"),
+        # H,M,L - H -> SL1
+        Rule.of(_S.SL1, not_very_high, None, [_T.HIGH], label="t1-row4"),
+        # - L M,L -> ON4
+        Rule.of(_S.ON4, None, [_B.LOW], temp_low_medium, label="t1-row5"),
+        # - E M -> ON4
+        Rule.of(_S.ON4, None, [_B.EMPTY], [_T.MEDIUM], label="t1-row6"),
+        # V M,H L -> ON1
+        Rule.of(_S.ON1, very_high, battery_mid_high, [_T.LOW], label="t1-row7"),
+        # H M,H L -> ON2
+        Rule.of(_S.ON2, [_P.HIGH], battery_mid_high, [_T.LOW], label="t1-row8"),
+        # M M,H L -> ON3
+        Rule.of(_S.ON3, [_P.MEDIUM], battery_mid_high, [_T.LOW], label="t1-row9"),
+        # L M,H L -> ON4
+        Rule.of(_S.ON4, [_P.LOW], battery_mid_high, [_T.LOW], label="t1-row10"),
+        # V,H,M F L -> ON1
+        Rule.of(_S.ON1, [_P.VERY_HIGH, _P.HIGH, _P.MEDIUM], [_B.FULL], [_T.LOW], label="t1-row11"),
+        # L F L -> ON2
+        Rule.of(_S.ON2, [_P.LOW], [_B.FULL], [_T.LOW], label="t1-row12"),
+        # - power-supply M,L -> ON1
+        Rule.of(_S.ON1, None, [_B.AC_POWER], temp_low_medium, label="t1-row13"),
+        # -- completion rules (not in the paper, documented in DESIGN.md) ----
+        # Battery >= Medium with temperature Medium is not covered by the
+        # printed Table 1; mirror the temperature-Low mapping (rows 7-12) so
+        # a merely warm (not hot) chip behaves like a cool one.
+        Rule.of(_S.ON1, [_P.VERY_HIGH, _P.HIGH, _P.MEDIUM], [_B.FULL], [_T.MEDIUM], label="completion-1"),
+        Rule.of(_S.ON2, [_P.LOW], [_B.FULL], [_T.MEDIUM], label="completion-2"),
+        Rule.of(_S.ON1, very_high, None, [_T.MEDIUM], label="completion-3"),
+        Rule.of(_S.ON2, [_P.HIGH], None, [_T.MEDIUM], label="completion-4"),
+        Rule.of(_S.ON3, [_P.MEDIUM], None, [_T.MEDIUM], label="completion-5"),
+        Rule.of(_S.ON4, None, None, None, label="completion-default"),
+    ]
+    return RuleTable(rules, name="table1")

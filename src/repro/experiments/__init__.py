@@ -1,0 +1,41 @@
+"""Experiment catalogue and runners reproducing the paper's evaluation."""
+
+from repro.experiments.runner import RunArtifacts, run_comparison, run_scenario
+from repro.experiments.scenarios import (
+    Scenario,
+    battery_condition,
+    multi_ip_scenario,
+    paper_scenarios,
+    scenario_a_workload,
+    scenario_by_name,
+    single_ip_scenario,
+    thermal_condition,
+)
+from repro.experiments.sweep import condition_sweep, policy_ablation, predictor_ablation
+from repro.experiments.table2 import (
+    reproduce_table2,
+    simulation_speed,
+    simulation_speed_report,
+    table2_report,
+)
+
+__all__ = [
+    "RunArtifacts",
+    "Scenario",
+    "battery_condition",
+    "condition_sweep",
+    "multi_ip_scenario",
+    "paper_scenarios",
+    "policy_ablation",
+    "predictor_ablation",
+    "reproduce_table2",
+    "run_comparison",
+    "run_scenario",
+    "scenario_a_workload",
+    "scenario_by_name",
+    "simulation_speed",
+    "simulation_speed_report",
+    "single_ip_scenario",
+    "table2_report",
+    "thermal_condition",
+]

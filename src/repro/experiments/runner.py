@@ -1,0 +1,146 @@
+"""Experiment runner.
+
+:func:`run_scenario` builds and simulates one scenario with one DPM setup and
+returns the raw artefacts (SoC, executions, wall-clock figures).
+:func:`run_comparison` runs the scenario twice — once with the DPM under
+study and once with the paper's reference configuration (maximum frequency,
+never sleep) — and reduces the two runs to the Table-2 metrics.
+"""
+
+from __future__ import annotations
+
+import time as _wallclock
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.metrics import ScenarioMetrics, compare_runs
+from repro.dpm.controller import DpmSetup
+from repro.errors import ExperimentError
+from repro.experiments.scenarios import Scenario
+from repro.power.states import PowerState
+from repro.sim.simtime import SimTime
+from repro.soc.soc import SoC, build_soc
+from repro.soc.task import TaskExecution
+
+__all__ = ["RunArtifacts", "run_scenario", "run_comparison"]
+
+
+@dataclass
+class RunArtifacts:
+    """Everything produced by one simulated run of a scenario."""
+
+    scenario: str
+    setup: str
+    soc: SoC
+    end_time: SimTime
+    wall_clock_s: float
+    executions: List[TaskExecution] = field(default_factory=list)
+
+    @property
+    def total_energy_j(self) -> float:
+        """SoC energy consumed during the run."""
+        return self.soc.total_energy_j()
+
+    @property
+    def average_rise_c(self) -> float:
+        """Average chip temperature rise above ambient during the run."""
+        return self.soc.thermal.average_rise_c
+
+    @property
+    def peak_temperature_c(self) -> float:
+        """Peak chip temperature reached during the run."""
+        return self.soc.thermal.peak_c
+
+    @property
+    def all_tasks_completed(self) -> bool:
+        """True when every IP drained its workload within the time budget."""
+        return self.soc.all_done
+
+    def cycles_simulated(self) -> float:
+        """Simulated time expressed in reference (ON1) clock cycles."""
+        characterization = self.soc.instances[0].characterization
+        period = characterization.operating_points.point(PowerState.ON1).clock_period
+        return self.end_time / period
+
+    def kilocycles_per_second(self) -> float:
+        """Simulation speed in kilo clock cycles per wall-clock second."""
+        if self.wall_clock_s <= 0.0:
+            return 0.0
+        return self.cycles_simulated() / self.wall_clock_s / 1e3
+
+    def per_ip_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-IP energy, task count and mean delay overhead."""
+        summary: Dict[str, Dict[str, float]] = {}
+        for instance in self.soc.instances:
+            executions = instance.ip.executions
+            overheads = [execution.delay_overhead for execution in executions]
+            summary[instance.spec.name] = {
+                "energy_j": instance.ip.energy_account.total_j,
+                "tasks": float(len(executions)),
+                "mean_delay_overhead_pct": (
+                    100.0 * sum(overheads) / len(overheads) if overheads else 0.0
+                ),
+                "transitions": float(instance.psm.transition_count),
+            }
+        return summary
+
+
+def run_scenario(scenario: Scenario, setup: Optional[DpmSetup] = None) -> RunArtifacts:
+    """Build and simulate ``scenario`` once under ``setup`` (default: paper DPM)."""
+    setup = setup or DpmSetup.paper()
+    specs = scenario.build_specs()
+    config = scenario.build_config()
+    soc = build_soc(specs, config, setup)
+    wall_start = _wallclock.perf_counter()
+    end_time = soc.run_until_done(max_time=scenario.max_time)
+    wall_elapsed = _wallclock.perf_counter() - wall_start
+    executions: List[TaskExecution] = []
+    for instance in soc.instances:
+        executions.extend(instance.ip.executions)
+    if not executions:
+        raise ExperimentError(
+            f"scenario {scenario.name!r} executed no tasks under setup {setup.name!r}"
+        )
+    return RunArtifacts(
+        scenario=scenario.name,
+        setup=setup.name,
+        soc=soc,
+        end_time=end_time,
+        wall_clock_s=wall_elapsed,
+        executions=executions,
+    )
+
+
+def run_comparison(
+    scenario: Scenario,
+    dpm: Optional[DpmSetup] = None,
+    baseline: Optional[DpmSetup] = None,
+) -> ScenarioMetrics:
+    """Run ``scenario`` with the DPM and with the baseline; return Table-2 metrics."""
+    dpm = dpm or DpmSetup.paper()
+    baseline = baseline or DpmSetup.always_on()
+    dpm_run = run_scenario(scenario, dpm)
+    baseline_run = run_scenario(scenario, baseline)
+    if not dpm_run.all_tasks_completed:
+        raise ExperimentError(
+            f"scenario {scenario.name!r}: the DPM run did not finish within the time budget"
+        )
+    if not baseline_run.all_tasks_completed:
+        raise ExperimentError(
+            f"scenario {scenario.name!r}: the baseline run did not finish within the time budget"
+        )
+    metrics = compare_runs(
+        scenario=scenario.name,
+        dpm_energy_j=dpm_run.total_energy_j,
+        baseline_energy_j=baseline_run.total_energy_j,
+        dpm_rise_c=dpm_run.average_rise_c,
+        baseline_rise_c=baseline_run.average_rise_c,
+        dpm_executions=dpm_run.executions,
+        dpm_peak_c=dpm_run.peak_temperature_c,
+        baseline_peak_c=baseline_run.peak_temperature_c,
+        simulated_time_s=dpm_run.end_time.seconds,
+        wall_clock_s=dpm_run.wall_clock_s,
+        kilocycles_per_second=dpm_run.kilocycles_per_second(),
+        per_ip=dpm_run.per_ip_summary(),
+    )
+    return metrics

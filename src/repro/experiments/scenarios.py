@@ -1,0 +1,247 @@
+"""The scenario catalogue of the paper's evaluation (section 2).
+
+Four single-IP simulations (A1–A4) run *the same sequence of tasks* under
+different battery / temperature conditions, and two four-IP simulations with
+a GEM (B, C) differ in which IPs are busy:
+
+====  =======  ===========  ==========================================
+id    battery  temperature  IP activity
+====  =======  ===========  ==========================================
+A1    Full     Low          1 IP, mixed busy/idle sequence
+A2    Low      Low          same sequence
+A3    Full     High         same sequence
+A4    Low      High         same sequence
+B     Low      Low          IP1/IP2 high activity, IP3/IP4 low activity
+C     Low      Low          IP1/IP2 low activity, IP3/IP4 high activity
+====  =======  ===========  ==========================================
+
+Scenario objects only *describe* the experiment (factories for the IP specs
+and the SoC configuration); the :mod:`repro.experiments.runner` builds and
+simulates them, once with the paper's DPM and once with the always-on
+baseline, to produce one row of Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.battery.model import BatteryConfig
+from repro.errors import ExperimentError
+from repro.sim.simtime import SimTime, ms, sec
+from repro.soc.soc import IpSpec, SocConfig
+from repro.soc.workload import (
+    Workload,
+    high_activity_workload,
+    low_activity_workload,
+    random_workload,
+)
+from repro.thermal.model import ThermalConfig
+
+__all__ = [
+    "Scenario",
+    "battery_condition",
+    "thermal_condition",
+    "scenario_a_workload",
+    "single_ip_scenario",
+    "multi_ip_scenario",
+    "paper_scenarios",
+    "scenario_by_name",
+]
+
+
+@dataclass
+class Scenario:
+    """Declarative description of one experiment."""
+
+    name: str
+    description: str
+    ip_specs_factory: Callable[[], List[IpSpec]]
+    soc_config_factory: Callable[[], SocConfig]
+    max_time: SimTime = field(default_factory=lambda: sec(5))
+    paper_row: Optional[Dict[str, float]] = None
+
+    def build_specs(self) -> List[IpSpec]:
+        """Fresh IP specifications for one run."""
+        return self.ip_specs_factory()
+
+    def build_config(self) -> SocConfig:
+        """Fresh SoC configuration for one run."""
+        return self.soc_config_factory()
+
+
+def battery_condition(level: str) -> BatteryConfig:
+    """Battery configuration for a named condition (``"full"`` or ``"low"``).
+
+    ``full`` starts at 95 % state of charge (class Full), ``low`` at 20 %
+    (class Low); ``medium`` and ``empty`` are provided for sweeps.
+    """
+    presets = {
+        "full": 0.95,
+        "high": 0.75,
+        "medium": 0.45,
+        "low": 0.20,
+        "empty": 0.03,
+    }
+    try:
+        soc0 = presets[level.lower()]
+    except KeyError:
+        raise ExperimentError(f"unknown battery condition {level!r}") from None
+    return BatteryConfig(capacity_j=250.0, initial_state_of_charge=soc0)
+
+
+def thermal_condition(level: str, ip_count: int = 1) -> ThermalConfig:
+    """Thermal configuration for a named condition (``"low"`` or ``"high"``).
+
+    The *high* condition models a hot environment: higher ambient and an
+    initial die temperature just above the High threshold, so the DPM must
+    actively cool the chip down before serving non-critical tasks.  The
+    thermal resistance scales inversely with the number of IPs (a larger SoC
+    ships with a package designed for its power budget).
+    """
+    resistance = 60.0 / max(1, ip_count)
+    if level.lower() == "low":
+        return ThermalConfig(
+            ambient_c=35.0,
+            initial_c=35.0,
+            thermal_resistance_c_per_w=resistance,
+        )
+    if level.lower() == "high":
+        # Hot environment: high ambient and an already warm die.  The busy
+        # baseline crosses into the High class, so the DPM must actively keep
+        # the chip below it (rows 2 and 4 of Table 1).
+        return ThermalConfig(
+            ambient_c=68.0,
+            initial_c=70.0,
+            thermal_resistance_c_per_w=resistance,
+        )
+    raise ExperimentError(f"unknown thermal condition {level!r}")
+
+
+def scenario_a_workload(seed: int = 11, task_count: int = 40) -> Workload:
+    """The common task sequence of the single-IP scenarios A1–A4.
+
+    Half of the sequence is busy (short idle gaps), half is idle-heavy (long
+    gaps), matching the paper's "in some sequences the IP is often busy, in
+    some it is often in idle state"; priorities are mixed so the Table-1 rows
+    that depend on the priority are all exercised.
+    """
+    if task_count < 2:
+        raise ExperimentError("the scenario A workload needs at least two tasks")
+    busy = high_activity_workload(task_count=task_count // 2, seed=seed, name="A-busy")
+    idle_heavy = low_activity_workload(
+        task_count=task_count - task_count // 2, seed=seed + 1, name="A-idle"
+    )
+    return Workload(items=list(busy.items) + list(idle_heavy.items), name="scenario-A")
+
+
+def single_ip_scenario(
+    name: str,
+    battery: str,
+    temperature: str,
+    description: str = "",
+    paper_row: Optional[Dict[str, float]] = None,
+    workload_seed: int = 11,
+    task_count: int = 40,
+) -> Scenario:
+    """One of the A scenarios: a single IP, PSM and LEM (no GEM)."""
+
+    def specs() -> List[IpSpec]:
+        return [
+            IpSpec(
+                name="ip1",
+                workload=scenario_a_workload(seed=workload_seed, task_count=task_count),
+                static_priority=1,
+            )
+        ]
+
+    def config() -> SocConfig:
+        return SocConfig(
+            name=f"soc_{name}",
+            battery=battery_condition(battery),
+            thermal=thermal_condition(temperature, ip_count=1),
+            use_gem=False,
+        )
+
+    return Scenario(
+        name=name,
+        description=description or f"single IP, battery {battery}, temperature {temperature}",
+        ip_specs_factory=specs,
+        soc_config_factory=config,
+        max_time=sec(5),
+        paper_row=paper_row,
+    )
+
+
+def multi_ip_scenario(
+    name: str,
+    battery: str,
+    temperature: str,
+    high_activity_ips: Sequence[int],
+    description: str = "",
+    paper_row: Optional[Dict[str, float]] = None,
+    task_count: int = 24,
+    seed: int = 21,
+) -> Scenario:
+    """One of the B/C scenarios: a GEM plus four IPs with static priorities 1-4.
+
+    ``high_activity_ips`` lists the 1-based IP indices that receive the
+    high-activity sequence; the others receive the low-activity sequence.
+    """
+    if not high_activity_ips:
+        raise ExperimentError("at least one IP must have high activity")
+
+    def specs() -> List[IpSpec]:
+        result = []
+        for index in range(1, 5):
+            if index in high_activity_ips:
+                workload = high_activity_workload(
+                    task_count=task_count, seed=seed + index, name=f"ip{index}-busy"
+                )
+            else:
+                workload = low_activity_workload(
+                    task_count=task_count, seed=seed + index, name=f"ip{index}-idle"
+                )
+            result.append(IpSpec(name=f"ip{index}", workload=workload, static_priority=index))
+        return result
+
+    def config() -> SocConfig:
+        return SocConfig(
+            name=f"soc_{name}",
+            battery=battery_condition(battery),
+            thermal=thermal_condition(temperature, ip_count=4),
+            use_gem=True,
+        )
+
+    return Scenario(
+        name=name,
+        description=description
+        or f"GEM + 4 IPs, battery {battery}, temperature {temperature}, "
+        f"high activity on IPs {sorted(high_activity_ips)}",
+        ip_specs_factory=specs,
+        soc_config_factory=config,
+        max_time=sec(5),
+        paper_row=paper_row,
+    )
+
+
+def paper_scenarios() -> List[Scenario]:
+    """The six scenarios of the paper's Table 2, in order."""
+    from repro.analysis.report import PAPER_TABLE2
+
+    return [
+        single_ip_scenario("A1", "full", "low", paper_row=PAPER_TABLE2["A1"]),
+        single_ip_scenario("A2", "low", "low", paper_row=PAPER_TABLE2["A2"]),
+        single_ip_scenario("A3", "full", "high", paper_row=PAPER_TABLE2["A3"]),
+        single_ip_scenario("A4", "low", "high", paper_row=PAPER_TABLE2["A4"]),
+        multi_ip_scenario("B", "low", "low", high_activity_ips=(1, 2), paper_row=PAPER_TABLE2["B"]),
+        multi_ip_scenario("C", "low", "low", high_activity_ips=(3, 4), paper_row=PAPER_TABLE2["C"]),
+    ]
+
+
+def scenario_by_name(name: str) -> Scenario:
+    """Look up one of the paper's scenarios by its Table-2 identifier."""
+    for scenario in paper_scenarios():
+        if scenario.name.lower() == name.lower():
+            return scenario
+    raise ExperimentError(f"unknown scenario {name!r} (expected A1..A4, B or C)")

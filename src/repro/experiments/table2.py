@@ -1,0 +1,79 @@
+"""Reproduction of the paper's Table 2 and simulation-speed figure.
+
+:func:`reproduce_table2` runs every scenario (A1–A4, B, C) with the paper's
+DPM and with the always-on baseline, returning one
+:class:`~repro.analysis.metrics.ScenarioMetrics` per row.
+:func:`table2_report` renders the side-by-side comparison with the numbers
+printed in the paper, and :func:`simulation_speed_report` reproduces the
+"35 Kcycle/s (sim. A) and 7.5 Kcycle/s (B and C)" throughput figure for this
+implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.metrics import ScenarioMetrics
+from repro.analysis.report import format_table, render_comparison, render_table2
+from repro.dpm.controller import DpmSetup
+from repro.experiments.runner import run_comparison, run_scenario
+from repro.experiments.scenarios import Scenario, paper_scenarios
+
+__all__ = [
+    "reproduce_table2",
+    "table2_report",
+    "simulation_speed",
+    "simulation_speed_report",
+]
+
+
+def reproduce_table2(
+    scenarios: Optional[Sequence[Scenario]] = None,
+    dpm: Optional[DpmSetup] = None,
+    baseline: Optional[DpmSetup] = None,
+) -> List[ScenarioMetrics]:
+    """Run all Table-2 scenarios and return their metrics in paper order."""
+    scenarios = list(scenarios) if scenarios is not None else paper_scenarios()
+    return [run_comparison(scenario, dpm=dpm, baseline=baseline) for scenario in scenarios]
+
+
+def table2_report(
+    results: Optional[Sequence[ScenarioMetrics]] = None,
+    include_paper: bool = True,
+) -> str:
+    """Human-readable Table-2 report (optionally next to the paper's values)."""
+    if results is None:
+        results = reproduce_table2()
+    if include_paper:
+        return render_comparison(results)
+    return render_table2(results)
+
+
+def simulation_speed(
+    scenarios: Optional[Sequence[Scenario]] = None,
+    dpm: Optional[DpmSetup] = None,
+) -> Dict[str, float]:
+    """Simulation throughput (kilo clock cycles per wall-clock second) per scenario."""
+    scenarios = list(scenarios) if scenarios is not None else paper_scenarios()
+    dpm = dpm or DpmSetup.paper()
+    speeds: Dict[str, float] = {}
+    for scenario in scenarios:
+        artefacts = run_scenario(scenario, dpm)
+        speeds[scenario.name] = artefacts.kilocycles_per_second()
+    return speeds
+
+
+def simulation_speed_report(speeds: Optional[Dict[str, float]] = None) -> str:
+    """Render the simulation-speed figure (paper: 35 Kcycle/s A, 7.5 Kcycle/s B/C)."""
+    if speeds is None:
+        speeds = simulation_speed()
+    paper_reference = {"A1": 35.0, "A2": 35.0, "A3": 35.0, "A4": 35.0, "B": 7.5, "C": 7.5}
+    rows = [
+        [name, f"{paper_reference.get(name, float('nan')):.1f}", f"{value:.1f}"]
+        for name, value in speeds.items()
+    ]
+    return format_table(
+        ["Scenario", "Paper (Kcycle/s)", "This implementation (Kcycle/s)"],
+        rows,
+        title="Simulation speed",
+    )

@@ -1,0 +1,94 @@
+"""Clock generator module.
+
+A :class:`Clock` drives a boolean signal with a fixed period and duty cycle.
+In this library most power-management components advance time with explicit
+timed waits (task durations, idle periods), so a clock is mainly used to
+
+* provide the "cycle" notion used when reporting simulation speed in
+  kilo-cycles per wall-clock second (the paper quotes 35 Kcycle/s), and
+* drive cycle-accurate components such as the bus arbiter when the user
+  wants that level of detail.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.kernel import Kernel
+from repro.sim.module import Module
+from repro.sim.simtime import SimTime
+
+__all__ = ["Clock"]
+
+
+class Clock(Module):
+    """A free-running clock with a boolean output signal.
+
+    Parameters
+    ----------
+    kernel:
+        Owning kernel.
+    name:
+        Instance name.
+    period:
+        Clock period (must be positive).
+    duty_cycle:
+        Fraction of the period spent high, in (0, 1).  Defaults to 0.5.
+    start_high:
+        Whether the first phase is the high phase.
+    parent:
+        Optional parent module.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        name: str,
+        period: SimTime,
+        duty_cycle: float = 0.5,
+        start_high: bool = True,
+        parent: Optional[Module] = None,
+    ) -> None:
+        super().__init__(kernel, name, parent)
+        if period.is_zero:
+            raise ConfigurationError("clock period must be positive")
+        if not 0.0 < duty_cycle < 1.0:
+            raise ConfigurationError(f"duty cycle must be in (0, 1), got {duty_cycle}")
+        self.period = period
+        self.duty_cycle = duty_cycle
+        self.start_high = start_high
+        self.out = self.signal("out", bool(start_high))
+        self._high_time = period * duty_cycle
+        self._low_time = period - self._high_time
+        self._cycles = 0
+        self.add_thread(self._toggle, name="toggle")
+
+    @property
+    def frequency_hz(self) -> float:
+        """Clock frequency in hertz."""
+        return 1.0 / self.period.seconds
+
+    @property
+    def cycle_count(self) -> int:
+        """Number of full periods generated so far."""
+        return self._cycles
+
+    def cycles_elapsed(self, duration: SimTime) -> float:
+        """Number of clock periods contained in ``duration``."""
+        return duration / self.period
+
+    def _toggle(self):
+        high_first = self.start_high
+        while True:
+            if high_first:
+                yield self._high_time
+                self.out.write(False)
+                yield self._low_time
+                self.out.write(True)
+            else:
+                yield self._low_time
+                self.out.write(True)
+                yield self._high_time
+                self.out.write(False)
+            self._cycles += 1

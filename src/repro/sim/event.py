@@ -1,0 +1,188 @@
+"""Events and the timed notification queue of the discrete-event kernel.
+
+An :class:`Event` is the fundamental synchronisation primitive, modelled on
+SystemC's ``sc_event``:
+
+* processes *wait* on events (dynamically, by yielding them, or statically,
+  through a method process' sensitivity list);
+* anyone may *notify* an event, either immediately (within the current
+  evaluation phase), after a delta cycle, or after a simulated-time delay.
+
+The kernel owns a :class:`TimedQueue` of pending timed notifications, ordered
+by (time, insertion sequence) so that simultaneous notifications preserve
+insertion order, which keeps simulations deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from repro.errors import SchedulingError
+from repro.sim.simtime import SimTime, ZERO_TIME
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.sim.kernel import Kernel
+    from repro.sim.process import Process
+
+__all__ = ["Event", "TimedQueue"]
+
+
+class Event:
+    """A notifiable synchronisation point.
+
+    Parameters
+    ----------
+    kernel:
+        The kernel this event belongs to.  Events can only wake processes
+        registered with the same kernel.
+    name:
+        Optional hierarchical name used in traces and error messages.
+    """
+
+    def __init__(self, kernel: "Kernel", name: str = "") -> None:
+        self._kernel = kernel
+        self.name = name or f"event_{id(self):x}"
+        self._waiters: List["Process"] = []
+        self._callbacks: List[Callable[[], None]] = []
+        self._pending_timed: bool = False
+
+    # -- introspection --------------------------------------------------
+    @property
+    def kernel(self) -> "Kernel":
+        """The kernel that schedules this event."""
+        return self._kernel
+
+    @property
+    def waiter_count(self) -> int:
+        """Number of processes currently waiting on this event."""
+        return len(self._waiters)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Event({self.name!r}, waiters={len(self._waiters)})"
+
+    # -- registration (used by the kernel / processes) -------------------
+    def add_waiter(self, process: "Process") -> None:
+        """Register ``process`` to be woken on the next notification."""
+        if process not in self._waiters:
+            self._waiters.append(process)
+
+    def remove_waiter(self, process: "Process") -> None:
+        """Remove ``process`` from the waiter list if present."""
+        try:
+            self._waiters.remove(process)
+        except ValueError:
+            pass
+
+    def add_callback(self, callback: Callable[[], None]) -> None:
+        """Register a permanent callback invoked at every notification.
+
+        Callbacks are used internally for static sensitivity of method
+        processes and for tracing; unlike waiters they are not cleared after
+        a notification fires.
+        """
+        self._callbacks.append(callback)
+
+    # -- notification ----------------------------------------------------
+    def notify(self, delay: Optional[SimTime] = None) -> None:
+        """Notify the event.
+
+        ``notify()`` with no argument is an *immediate* notification: waiting
+        processes become runnable in the current evaluation phase.
+        ``notify(ZERO_TIME)`` is a *delta* notification and
+        ``notify(delay)`` with a non-zero delay is a *timed* notification.
+        """
+        if delay is None:
+            self._kernel.schedule_immediate(self)
+        elif delay.is_zero:
+            self._kernel.schedule_delta(self)
+        else:
+            self._kernel.schedule_timed(self, delay)
+
+    def notify_delta(self) -> None:
+        """Notify after one delta cycle (same simulated time)."""
+        self._kernel.schedule_delta(self)
+
+    def notify_after(self, delay: SimTime) -> None:
+        """Notify after ``delay`` of simulated time."""
+        self._kernel.schedule_timed(self, delay)
+
+    # -- firing (kernel only) ---------------------------------------------
+    def fire(self) -> List["Process"]:
+        """Wake all waiters and run callbacks; return the processes woken.
+
+        This is called by the kernel when the notification matures.  The
+        waiter list is cleared: dynamic waits are one-shot, as in SystemC.
+        """
+        woken, self._waiters = self._waiters, []
+        for callback in self._callbacks:
+            callback()
+        return woken
+
+
+class TimedQueue:
+    """Priority queue of timed notifications, ordered by absolute time.
+
+    Entries are ``(absolute_time, sequence, payload)`` where ``payload`` is
+    either an :class:`Event` to fire or a :class:`~repro.sim.process.Process`
+    to resume directly (used for ``yield some_duration`` timeouts).  Cancelled
+    entries are flagged lazily and skipped on pop.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._sequence = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def push(self, when: SimTime, payload) -> dict:
+        """Schedule ``payload`` at absolute time ``when``; returns a handle.
+
+        The returned handle is a mutable mapping with a ``"cancelled"`` key
+        that callers may set to ``True`` to cancel the notification.
+        """
+        entry = {"time": when, "payload": payload, "cancelled": False}
+        heapq.heappush(self._heap, (when.femtoseconds, next(self._sequence), entry))
+        self._live += 1
+        return entry
+
+    def cancel(self, entry: dict) -> None:
+        """Cancel a previously pushed entry (no-op if already fired)."""
+        if not entry["cancelled"]:
+            entry["cancelled"] = True
+            self._live -= 1
+
+    def next_time(self) -> Optional[SimTime]:
+        """Absolute time of the earliest pending entry, or ``None`` if empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return SimTime(self._heap[0][0])
+
+    def pop_due(self, now: SimTime) -> list:
+        """Pop and return all payloads whose time is exactly ``now``."""
+        due = []
+        self._drop_cancelled()
+        while self._heap and self._heap[0][0] == now.femtoseconds:
+            _, _, entry = heapq.heappop(self._heap)
+            if entry["cancelled"]:
+                continue
+            self._live -= 1
+            # Mark as consumed so a later cancel() of this handle is a no-op.
+            entry["cancelled"] = True
+            if entry["time"] != now:  # pragma: no cover - defensive
+                raise SchedulingError("timed queue popped an entry at the wrong time")
+            due.append(entry["payload"])
+            self._drop_cancelled()
+        return due
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0][2]["cancelled"]:
+            heapq.heappop(self._heap)
+
+
+def _zero() -> SimTime:  # pragma: no cover - kept for API symmetry
+    return ZERO_TIME

@@ -1,0 +1,271 @@
+"""The discrete-event scheduler (SystemC-like evaluate/update/delta kernel).
+
+The :class:`Kernel` implements the classic SystemC 2.0 scheduling algorithm:
+
+1. *Evaluate phase*: run every runnable process.  Processes may write
+   primitive channels (signals), notify events immediately, or schedule
+   delta/timed notifications.
+2. *Update phase*: apply the pending writes of every primitive channel that
+   requested an update.
+3. *Delta notification phase*: fire delta-notified events, making their
+   waiters runnable.  If any process became runnable, repeat from step 1 at
+   the same simulated time (one *delta cycle* has elapsed).
+4. Otherwise advance simulated time to the earliest timed notification and
+   repeat, until there is no pending activity, the requested duration has
+   elapsed, or :meth:`Kernel.stop` was called.
+
+The kernel is deliberately independent from the module system: it only knows
+about :class:`~repro.sim.event.Event` and
+:class:`~repro.sim.process.Process` objects, which keeps it easy to test in
+isolation and to reuse for non-hardware models (the battery and thermal
+models use plain processes, for instance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.event import Event, TimedQueue
+from repro.sim.process import MethodProcess, Process, ThreadProcess
+from repro.sim.simtime import SimTime, ZERO_TIME
+
+__all__ = ["Kernel", "KernelStatistics"]
+
+
+@dataclass
+class KernelStatistics:
+    """Counters describing how much work a simulation performed."""
+
+    process_activations: int = 0
+    delta_cycles: int = 0
+    timed_notifications: int = 0
+    immediate_notifications: int = 0
+    signal_updates: int = 0
+    events_created: int = 0
+    processes_created: int = 0
+    time_advances: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """Return the statistics as a plain dictionary."""
+        data = {
+            "process_activations": self.process_activations,
+            "delta_cycles": self.delta_cycles,
+            "timed_notifications": self.timed_notifications,
+            "immediate_notifications": self.immediate_notifications,
+            "signal_updates": self.signal_updates,
+            "events_created": self.events_created,
+            "processes_created": self.processes_created,
+            "time_advances": self.time_advances,
+        }
+        data.update(self.extra)
+        return data
+
+
+class Kernel:
+    """Discrete-event scheduler with SystemC evaluate/update/delta semantics."""
+
+    def __init__(self) -> None:
+        self._now: SimTime = ZERO_TIME
+        self._runnable: List[Tuple[Process, Optional[Event]]] = []
+        self._delta_events: List[Event] = []
+        self._update_queue: List = []
+        self._timed = TimedQueue()
+        self._processes: List[Process] = []
+        self._initialized = False
+        self._stop_requested = False
+        self._running = False
+        self.stats = KernelStatistics()
+        self._end_of_delta_callbacks: List[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # Factory helpers
+    # ------------------------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a new :class:`Event` owned by this kernel."""
+        self.stats.events_created += 1
+        return Event(self, name)
+
+    def create_thread(self, func, name: str) -> ThreadProcess:
+        """Create and register a thread process from a generator function."""
+        process = ThreadProcess(self, name, func)
+        self.register_process(process)
+        return process
+
+    def create_method(self, func, sensitivity, name: str, dont_initialize: bool = False) -> MethodProcess:
+        """Create and register a method process with a static sensitivity list."""
+        process = MethodProcess(self, name, func, dont_initialize=dont_initialize)
+        process.set_sensitivity(list(sensitivity))
+        self.register_process(process)
+        return process
+
+    def register_process(self, process: Process) -> None:
+        """Register an externally created process with the scheduler."""
+        self._processes.append(process)
+        self.stats.processes_created += 1
+        if self._initialized:
+            # Processes created after initialisation start immediately,
+            # running up to their first wait (like sc_spawn).
+            process.start()
+            self.stats.process_activations += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> SimTime:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def is_running(self) -> bool:
+        """True while :meth:`run` is executing."""
+        return self._running
+
+    @property
+    def pending_activity(self) -> bool:
+        """True if any work (runnable, delta or timed) remains."""
+        return bool(self._runnable or self._delta_events or self._update_queue or len(self._timed))
+
+    # ------------------------------------------------------------------
+    # Scheduling requests (called by events, signals and processes)
+    # ------------------------------------------------------------------
+    def schedule_immediate(self, event: Event) -> None:
+        """Immediate notification: wake waiters within the current phase."""
+        self.stats.immediate_notifications += 1
+        for process in event.fire():
+            self._runnable.append((process, event))
+
+    def schedule_delta(self, event: Event) -> None:
+        """Delta notification: fire the event in the next delta cycle."""
+        if event not in self._delta_events:
+            self._delta_events.append(event)
+
+    def schedule_timed(self, event: Event, delay: SimTime) -> dict:
+        """Timed notification of ``event`` after ``delay``."""
+        self.stats.timed_notifications += 1
+        return self._timed.push(self._now + delay, event)
+
+    def schedule_process_timeout(self, process: Process, delay: SimTime) -> dict:
+        """Resume ``process`` after ``delay`` (a ``yield duration`` wait)."""
+        self.stats.timed_notifications += 1
+        return self._timed.push(self._now + delay, process)
+
+    def cancel_timed(self, handle: dict) -> None:
+        """Cancel a previously scheduled timed notification."""
+        self._timed.cancel(handle)
+
+    def request_update(self, channel) -> None:
+        """Queue a primitive channel for the next update phase."""
+        if channel not in self._update_queue:
+            self._update_queue.append(channel)
+
+    def add_end_of_delta_callback(self, callback: Callable[[], None]) -> None:
+        """Register a callback run at the end of every delta cycle (tracing)."""
+        self._end_of_delta_callbacks.append(callback)
+
+    def stop(self) -> None:
+        """Request the simulation to stop at the end of the current delta."""
+        self._stop_requested = True
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def initialize(self) -> None:
+        """Start every registered process (runs them to their first wait)."""
+        if self._initialized:
+            return
+        self._initialized = True
+        for process in self._processes:
+            process.start()
+            self.stats.process_activations += 1
+        # Resolve any activity generated during initialisation at time zero.
+        self._delta_loop()
+
+    def run(self, duration: Optional[SimTime] = None) -> SimTime:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        duration:
+            If given, simulate for at most this much additional simulated
+            time.  If omitted, run until there is no pending activity or
+            :meth:`stop` is called.
+
+        Returns
+        -------
+        SimTime
+            The simulated time at which execution stopped.
+        """
+        if self._running:
+            raise SimulationError("kernel.run() is not reentrant")
+        self._running = True
+        self._stop_requested = False
+        try:
+            if not self._initialized:
+                self.initialize()
+            end_time = None if duration is None else self._now + duration
+            self._delta_loop()
+            while not self._stop_requested:
+                next_time = self._timed.next_time()
+                if next_time is None:
+                    break
+                if end_time is not None and next_time.femtoseconds > end_time.femtoseconds:
+                    self._now = end_time
+                    break
+                self._advance_to(next_time)
+                self._delta_loop()
+            else:
+                # Stop was requested; leave time where it is.
+                pass
+            if end_time is not None and not self._stop_requested:
+                if self._timed.next_time() is None and self._now.femtoseconds < end_time.femtoseconds:
+                    # Starvation before the requested end time: report the
+                    # requested end so repeated run() calls stay monotonic.
+                    self._now = end_time
+            return self._now
+        finally:
+            self._running = False
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _advance_to(self, next_time: SimTime) -> None:
+        if next_time.femtoseconds < self._now.femtoseconds:  # pragma: no cover - defensive
+            raise SchedulingError("attempted to move simulated time backwards")
+        self._now = next_time
+        self.stats.time_advances += 1
+        for payload in self._timed.pop_due(next_time):
+            if isinstance(payload, Event):
+                for process in payload.fire():
+                    self._runnable.append((process, payload))
+            else:
+                self._runnable.append((payload, None))
+
+    def _delta_loop(self) -> None:
+        """Run evaluate/update/delta cycles until no process is runnable."""
+        while (self._runnable or self._delta_events or self._update_queue) and not self._stop_requested:
+            # Evaluate phase.
+            while self._runnable:
+                process, trigger = self._runnable.pop(0)
+                if process.terminated:
+                    continue
+                process.resume(trigger)
+                self.stats.process_activations += 1
+            # Update phase.
+            if self._update_queue:
+                updates, self._update_queue = self._update_queue, []
+                for channel in updates:
+                    channel.update()
+                    self.stats.signal_updates += 1
+            # Delta notification phase.
+            if self._delta_events:
+                delta_events, self._delta_events = self._delta_events, []
+                for event in delta_events:
+                    for process in event.fire():
+                        self._runnable.append((process, event))
+            self.stats.delta_cycles += 1
+            for callback in self._end_of_delta_callbacks:
+                callback()

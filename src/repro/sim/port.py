@@ -1,0 +1,120 @@
+"""Ports: typed connection points between modules and signals.
+
+A port is a placeholder through which a module reads or writes a signal that
+is owned elsewhere.  Ports are *bound* during construction (to a signal, or
+to a parent module's port for hierarchical designs) and *resolved* during
+elaboration, after which reads and writes are delegated to the underlying
+:class:`~repro.sim.signal.Signal`.
+
+Separating binding from resolution mirrors SystemC and lets the
+:class:`~repro.sim.simulator.Simulator` detect unbound ports before the
+simulation starts, which is a much friendlier failure mode than a runtime
+``AttributeError`` deep inside a process.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Optional, TypeVar, Union
+
+from repro.errors import ElaborationError
+from repro.sim.event import Event
+from repro.sim.signal import Signal
+
+__all__ = ["Port", "InPort", "OutPort", "InOutPort"]
+
+T = TypeVar("T")
+
+
+class Port(Generic[T]):
+    """Base class for all port kinds."""
+
+    direction = "inout"
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name or f"port_{id(self):x}"
+        self._bound_to: Optional[Union["Port[T]", Signal[T]]] = None
+        self._resolved: Optional[Signal[T]] = None
+
+    # -- binding -------------------------------------------------------
+    def bind(self, target: Union["Port[T]", Signal[T]]) -> None:
+        """Bind this port to a signal or to another (parent) port."""
+        if self._bound_to is not None:
+            raise ElaborationError(f"port {self.name!r} is already bound")
+        if target is self:
+            raise ElaborationError(f"port {self.name!r} cannot be bound to itself")
+        self._bound_to = target
+
+    def __call__(self, target: Union["Port[T]", Signal[T]]) -> None:
+        """SystemC-style binding syntax: ``module.port(signal)``."""
+        self.bind(target)
+
+    @property
+    def is_bound(self) -> bool:
+        """True once :meth:`bind` has been called."""
+        return self._bound_to is not None
+
+    @property
+    def is_resolved(self) -> bool:
+        """True once elaboration resolved the port to a concrete signal."""
+        return self._resolved is not None
+
+    def resolve(self) -> Signal[T]:
+        """Follow the binding chain down to a concrete signal."""
+        if self._resolved is not None:
+            return self._resolved
+        seen = set()
+        target = self._bound_to
+        while target is not None:
+            if isinstance(target, Signal):
+                self._resolved = target
+                return target
+            if id(target) in seen:
+                raise ElaborationError(f"port {self.name!r} has a circular binding")
+            seen.add(id(target))
+            target = target._bound_to
+        raise ElaborationError(f"port {self.name!r} is not bound to any signal")
+
+    # -- signal-like API ------------------------------------------------
+    @property
+    def signal(self) -> Signal[T]:
+        """The resolved signal (resolving lazily if needed)."""
+        return self.resolve()
+
+    def read(self) -> T:
+        """Read the bound signal's current value."""
+        return self.resolve().read()
+
+    @property
+    def changed_event(self) -> Event:
+        """The bound signal's value-changed event."""
+        return self.resolve().changed_event
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "resolved" if self.is_resolved else ("bound" if self.is_bound else "unbound")
+        return f"{type(self).__name__}({self.name!r}, {state})"
+
+
+class InPort(Port[T]):
+    """A read-only port."""
+
+    direction = "in"
+
+
+class OutPort(Port[T]):
+    """A write-only port."""
+
+    direction = "out"
+
+    def write(self, value: T) -> None:
+        """Write ``value`` to the bound signal."""
+        self.resolve().write(value)
+
+
+class InOutPort(Port[T]):
+    """A bidirectional port."""
+
+    direction = "inout"
+
+    def write(self, value: T) -> None:
+        """Write ``value`` to the bound signal."""
+        self.resolve().write(value)

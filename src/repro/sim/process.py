@@ -1,0 +1,216 @@
+"""Processes: the concurrent units of behaviour in the simulation kernel.
+
+Two kinds of processes exist, mirroring SystemC:
+
+* **Thread processes** (:class:`ThreadProcess`) wrap a generator function.
+  The generator ``yield``\\ s *wait specifications* and is resumed by the
+  kernel when the wait matures.  Valid wait specifications are:
+
+  - a :class:`~repro.sim.simtime.SimTime` duration,
+  - an :class:`~repro.sim.event.Event`,
+  - an :class:`AnyOf` / :class:`AllOf` combinator over events,
+  - ``None`` (wait on the process' static sensitivity, if any).
+
+* **Method processes** (:class:`MethodProcess`) wrap a plain callable that is
+  re-invoked from scratch every time an event in its static sensitivity list
+  is notified.  Method processes never suspend.
+
+Users normally do not instantiate these classes directly; they call
+:meth:`repro.sim.module.Module.add_thread` and
+:meth:`repro.sim.module.Module.add_method`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Generator, Iterable, List, Optional, Sequence, Union
+
+from repro.errors import SchedulingError
+from repro.sim.event import Event
+from repro.sim.simtime import SimTime
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Kernel
+
+__all__ = ["AnyOf", "AllOf", "Process", "ThreadProcess", "MethodProcess", "WaitSpec"]
+
+
+class AnyOf:
+    """Wait specification: resume when *any* of the given events fires."""
+
+    def __init__(self, events: Iterable[Event]) -> None:
+        self.events: List[Event] = list(events)
+        if not self.events:
+            raise SchedulingError("AnyOf requires at least one event")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AnyOf({[e.name for e in self.events]})"
+
+
+class AllOf:
+    """Wait specification: resume when *all* of the given events have fired."""
+
+    def __init__(self, events: Iterable[Event]) -> None:
+        self.events: List[Event] = list(events)
+        if not self.events:
+            raise SchedulingError("AllOf requires at least one event")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AllOf({[e.name for e in self.events]})"
+
+
+WaitSpec = Union[SimTime, Event, AnyOf, AllOf, None]
+
+
+class Process:
+    """Common base for thread and method processes."""
+
+    def __init__(self, kernel: "Kernel", name: str) -> None:
+        self.kernel = kernel
+        self.name = name
+        self.static_sensitivity: List[Event] = []
+        self.terminated = False
+        self._pending_timeout = None  # TimedQueue handle for a pending timed wait
+        self._waiting_events: List[Event] = []
+        self._remaining_all_of: set = set()
+
+    # -- wiring -----------------------------------------------------------
+    def set_sensitivity(self, events: Sequence[Event]) -> None:
+        """Define the static sensitivity list of this process."""
+        self.static_sensitivity = list(events)
+
+    # -- kernel interface ---------------------------------------------------
+    def start(self) -> None:
+        """Called once at the start of simulation."""
+        raise NotImplementedError
+
+    def resume(self, trigger: Optional[Event] = None) -> None:
+        """Called by the kernel when a wait of this process matures."""
+        raise NotImplementedError
+
+    def _clear_waits(self) -> None:
+        for event in self._waiting_events:
+            event.remove_waiter(self)
+        self._waiting_events = []
+        if self._pending_timeout is not None:
+            self.kernel.cancel_timed(self._pending_timeout)
+            self._pending_timeout = None
+        self._remaining_all_of = set()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = type(self).__name__
+        return f"{kind}({self.name!r}, terminated={self.terminated})"
+
+
+class ThreadProcess(Process):
+    """A generator-based process (SystemC ``SC_THREAD`` analogue)."""
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        name: str,
+        func: Callable[[], Generator[WaitSpec, None, None]],
+    ) -> None:
+        super().__init__(kernel, name)
+        self._func = func
+        self._generator: Optional[Generator[WaitSpec, None, None]] = None
+
+    def start(self) -> None:
+        """Create the generator and run it up to its first wait."""
+        result = self._func()
+        if result is None:
+            # A plain function with no yield: it ran to completion already.
+            self.terminated = True
+            return
+        self._generator = result
+        self._advance()
+
+    def resume(self, trigger: Optional[Event] = None) -> None:
+        """Resume after a wait; honours AllOf bookkeeping."""
+        if self.terminated:
+            return
+        if self._remaining_all_of:
+            if trigger is not None:
+                self._remaining_all_of.discard(trigger)
+                trigger.remove_waiter(self)
+            if self._remaining_all_of:
+                # Still waiting for the remaining events; re-arm on the trigger
+                # is not needed because other events keep us registered.
+                return
+        self._clear_waits()
+        self._advance()
+
+    # -- internals ----------------------------------------------------------
+    def _advance(self) -> None:
+        if self._generator is None:
+            self.terminated = True
+            return
+        try:
+            spec = next(self._generator)
+        except StopIteration:
+            self.terminated = True
+            return
+        self._arm(spec)
+
+    def _arm(self, spec: WaitSpec) -> None:
+        """Register the wait described by ``spec`` with the kernel."""
+        if spec is None:
+            if not self.static_sensitivity:
+                raise SchedulingError(
+                    f"process {self.name!r} yielded None but has no static sensitivity"
+                )
+            for event in self.static_sensitivity:
+                event.add_waiter(self)
+                self._waiting_events.append(event)
+            return
+        if isinstance(spec, SimTime):
+            self._pending_timeout = self.kernel.schedule_process_timeout(self, spec)
+            return
+        if isinstance(spec, Event):
+            spec.add_waiter(self)
+            self._waiting_events.append(spec)
+            return
+        if isinstance(spec, AnyOf):
+            for event in spec.events:
+                event.add_waiter(self)
+                self._waiting_events.append(event)
+            return
+        if isinstance(spec, AllOf):
+            self._remaining_all_of = set(spec.events)
+            for event in spec.events:
+                event.add_waiter(self)
+                self._waiting_events.append(event)
+            return
+        raise SchedulingError(
+            f"process {self.name!r} yielded an invalid wait specification: {spec!r}"
+        )
+
+
+class MethodProcess(Process):
+    """A callable re-run on every notification of its sensitivity list."""
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        name: str,
+        func: Callable[[], None],
+        dont_initialize: bool = False,
+    ) -> None:
+        super().__init__(kernel, name)
+        self._func = func
+        self.dont_initialize = dont_initialize
+
+    def start(self) -> None:
+        """Run once at time zero (unless ``dont_initialize``) and re-arm."""
+        self._rearm()
+        if not self.dont_initialize:
+            self._func()
+
+    def resume(self, trigger: Optional[Event] = None) -> None:
+        if self.terminated:
+            return
+        self._rearm()
+        self._func()
+
+    def _rearm(self) -> None:
+        for event in self.static_sensitivity:
+            event.add_waiter(self)

@@ -1,0 +1,187 @@
+"""Simulated time for the discrete-event kernel.
+
+Time is stored internally as an integer number of *femtoseconds*, mirroring
+SystemC's ``sc_time`` which uses an integer count of a fixed resolution.
+Using integers keeps event ordering exact: two events scheduled at the same
+instant compare equal regardless of how the instant was computed.
+
+The public entry points are :class:`TimeUnit`, :class:`SimTime` and the
+convenience constructors :func:`fs`, :func:`ps`, :func:`ns`, :func:`us`,
+:func:`ms` and :func:`sec`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Union
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "TimeUnit",
+    "SimTime",
+    "ZERO_TIME",
+    "fs",
+    "ps",
+    "ns",
+    "us",
+    "ms",
+    "sec",
+]
+
+
+class TimeUnit(Enum):
+    """Time units supported by :class:`SimTime`, with their femtosecond scale."""
+
+    FS = 1
+    PS = 1_000
+    NS = 1_000_000
+    US = 1_000_000_000
+    MS = 1_000_000_000_000
+    S = 1_000_000_000_000_000
+
+    @property
+    def femtoseconds(self) -> int:
+        """Number of femtoseconds in one unit."""
+        return self.value
+
+    @property
+    def symbol(self) -> str:
+        """Short printable symbol (``"ns"``, ``"us"``...)."""
+        return self.name.lower()
+
+
+@dataclass(frozen=True, order=True)
+class SimTime:
+    """An absolute instant or a duration of simulated time.
+
+    Instances are immutable and totally ordered.  Arithmetic keeps full
+    integer precision; scaling by a float rounds to the nearest femtosecond.
+
+    Examples
+    --------
+    >>> SimTime.from_value(5, TimeUnit.NS) + SimTime.from_value(500, TimeUnit.PS)
+    SimTime(5.5 ns)
+    >>> ns(2) * 3 == ns(6)
+    True
+    """
+
+    femtoseconds: int = 0
+
+    # -- constructors -------------------------------------------------
+    @staticmethod
+    def from_value(value: Union[int, float], unit: TimeUnit) -> "SimTime":
+        """Build a :class:`SimTime` from ``value`` expressed in ``unit``."""
+        if value < 0:
+            raise SimulationError(f"simulated time cannot be negative: {value} {unit.symbol}")
+        if not math.isfinite(value):
+            raise SimulationError(f"simulated time must be finite: {value!r}")
+        return SimTime(int(round(value * unit.femtoseconds)))
+
+    # -- conversions ---------------------------------------------------
+    def to_value(self, unit: TimeUnit) -> float:
+        """Return this time expressed in ``unit`` as a float."""
+        return self.femtoseconds / unit.femtoseconds
+
+    @property
+    def seconds(self) -> float:
+        """This time expressed in seconds."""
+        return self.to_value(TimeUnit.S)
+
+    @property
+    def nanoseconds(self) -> float:
+        """This time expressed in nanoseconds."""
+        return self.to_value(TimeUnit.NS)
+
+    @property
+    def is_zero(self) -> bool:
+        """True when the time equals zero."""
+        return self.femtoseconds == 0
+
+    # -- arithmetic ----------------------------------------------------
+    def __add__(self, other: "SimTime") -> "SimTime":
+        if not isinstance(other, SimTime):
+            return NotImplemented
+        return SimTime(self.femtoseconds + other.femtoseconds)
+
+    def __sub__(self, other: "SimTime") -> "SimTime":
+        if not isinstance(other, SimTime):
+            return NotImplemented
+        if other.femtoseconds > self.femtoseconds:
+            raise SimulationError("simulated time subtraction would be negative")
+        return SimTime(self.femtoseconds - other.femtoseconds)
+
+    def __mul__(self, factor: Union[int, float]) -> "SimTime":
+        if not isinstance(factor, (int, float)):
+            return NotImplemented
+        if factor < 0:
+            raise SimulationError("cannot scale a simulated time by a negative factor")
+        return SimTime(int(round(self.femtoseconds * factor)))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Union["SimTime", int, float]):
+        if isinstance(other, SimTime):
+            if other.femtoseconds == 0:
+                raise ZeroDivisionError("division by zero simulated time")
+            return self.femtoseconds / other.femtoseconds
+        if isinstance(other, (int, float)):
+            if other == 0:
+                raise ZeroDivisionError("division of simulated time by zero")
+            if other < 0:
+                raise SimulationError("cannot divide a simulated time by a negative factor")
+            return SimTime(int(round(self.femtoseconds / other)))
+        return NotImplemented
+
+    def __bool__(self) -> bool:
+        return self.femtoseconds != 0
+
+    # -- display -------------------------------------------------------
+    def _best_unit(self) -> TimeUnit:
+        for unit in (TimeUnit.S, TimeUnit.MS, TimeUnit.US, TimeUnit.NS, TimeUnit.PS):
+            if self.femtoseconds >= unit.femtoseconds:
+                return unit
+        return TimeUnit.FS
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        unit = self._best_unit()
+        return f"SimTime({self.to_value(unit):g} {unit.symbol})"
+
+    def __str__(self) -> str:
+        unit = self._best_unit()
+        return f"{self.to_value(unit):g} {unit.symbol}"
+
+
+ZERO_TIME = SimTime(0)
+
+
+def fs(value: Union[int, float]) -> SimTime:
+    """Femtoseconds constructor: ``fs(3)`` is three femtoseconds."""
+    return SimTime.from_value(value, TimeUnit.FS)
+
+
+def ps(value: Union[int, float]) -> SimTime:
+    """Picoseconds constructor."""
+    return SimTime.from_value(value, TimeUnit.PS)
+
+
+def ns(value: Union[int, float]) -> SimTime:
+    """Nanoseconds constructor."""
+    return SimTime.from_value(value, TimeUnit.NS)
+
+
+def us(value: Union[int, float]) -> SimTime:
+    """Microseconds constructor."""
+    return SimTime.from_value(value, TimeUnit.US)
+
+
+def ms(value: Union[int, float]) -> SimTime:
+    """Milliseconds constructor."""
+    return SimTime.from_value(value, TimeUnit.MS)
+
+
+def sec(value: Union[int, float]) -> SimTime:
+    """Seconds constructor."""
+    return SimTime.from_value(value, TimeUnit.S)

@@ -1,0 +1,41 @@
+"""SoC substrate: tasks, workloads, functional IPs, bus, service requests and
+the SoC builder that wires everything together (Fig. 1 of the paper)."""
+
+from repro.soc.bus import Bus, BusStatistics
+from repro.soc.ip import FunctionalIP
+from repro.soc.service import ServiceChannel, ServiceRequest, ServiceRequestGenerator
+from repro.soc.soc import IpInstance, IpSpec, SoC, SocConfig, build_soc
+from repro.soc.task import Task, TaskExecution, TaskPriority
+from repro.soc.workload import (
+    Workload,
+    WorkloadItem,
+    bursty_workload,
+    high_activity_workload,
+    low_activity_workload,
+    periodic_workload,
+    random_workload,
+)
+
+__all__ = [
+    "Bus",
+    "BusStatistics",
+    "FunctionalIP",
+    "IpInstance",
+    "IpSpec",
+    "ServiceChannel",
+    "ServiceRequest",
+    "ServiceRequestGenerator",
+    "SoC",
+    "SocConfig",
+    "Task",
+    "TaskExecution",
+    "TaskPriority",
+    "Workload",
+    "WorkloadItem",
+    "build_soc",
+    "bursty_workload",
+    "high_activity_workload",
+    "low_activity_workload",
+    "periodic_workload",
+    "random_workload",
+]

@@ -1,0 +1,172 @@
+"""Shared on-chip bus with arbitration and occupancy statistics.
+
+The GEM conditions its decisions on "the status of the SoC resources
+(battery energy, chip temperature, bus occupation, etc.)".  This module
+provides the bus occupation part: a single shared bus that masters acquire
+for a number of word transfers, with either first-come-first-served or
+priority arbitration.
+
+The bus is optional in the Table-2 scenarios (the paper's traffic generators
+do not describe bus traffic), but it is exercised by examples, tests and the
+GEM's resource view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.event import Event
+from repro.sim.kernel import Kernel
+from repro.sim.module import Module
+from repro.sim.simtime import SimTime, ZERO_TIME, sec
+
+__all__ = ["Bus", "BusStatistics"]
+
+
+@dataclass
+class _BusRequest:
+    master: str
+    words: int
+    priority: int
+    event: Event
+    arrival: SimTime
+    granted: bool = False
+
+
+@dataclass
+class BusStatistics:
+    """Aggregate bus statistics."""
+
+    transfer_count: int = 0
+    words_transferred: int = 0
+    busy_time: SimTime = ZERO_TIME
+    total_wait_time: SimTime = ZERO_TIME
+    per_master_words: Dict[str, int] = field(default_factory=dict)
+
+    def occupancy(self, elapsed: SimTime) -> float:
+        """Fraction of ``elapsed`` during which the bus was busy."""
+        if elapsed.is_zero:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+    def average_wait(self) -> SimTime:
+        """Average time a transfer waited for the bus grant."""
+        if self.transfer_count == 0:
+            return ZERO_TIME
+        return self.total_wait_time / self.transfer_count
+
+
+class Bus(Module):
+    """Single shared bus.
+
+    Parameters
+    ----------
+    kernel:
+        Simulation kernel.
+    name:
+        Instance name.
+    words_per_second:
+        Transfer bandwidth in words per second.
+    arbitration:
+        ``"fifo"`` (first come, first served) or ``"priority"`` (lowest
+        priority number wins; ties broken by arrival order).
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        name: str,
+        words_per_second: float = 50e6,
+        arbitration: str = "priority",
+        parent: Optional[Module] = None,
+    ) -> None:
+        super().__init__(kernel, name, parent)
+        if words_per_second <= 0.0:
+            raise ConfigurationError("bus bandwidth must be positive")
+        if arbitration not in ("fifo", "priority"):
+            raise ConfigurationError(f"unknown arbitration policy {arbitration!r}")
+        self.words_per_second = words_per_second
+        self.arbitration = arbitration
+        self.stats = BusStatistics()
+        self.busy_signal = self.signal("busy", False)
+        self._queue: List[_BusRequest] = []
+        self._owner: Optional[_BusRequest] = None
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def is_busy(self) -> bool:
+        """True while a transfer is in progress."""
+        return self._owner is not None
+
+    @property
+    def queue_length(self) -> int:
+        """Number of masters waiting for the bus."""
+        return len(self._queue)
+
+    def occupancy(self) -> float:
+        """Busy fraction since the start of the simulation."""
+        return self.stats.occupancy(self.kernel.now)
+
+    def transfer_duration(self, words: int) -> SimTime:
+        """Time needed to move ``words`` words once the bus is granted."""
+        if words <= 0:
+            raise ConfigurationError("word count must be positive")
+        return sec(words / self.words_per_second)
+
+    # -- master interface ------------------------------------------------------
+    def transfer(self, master: str, words: int, priority: int = 0):
+        """Generator: acquire the bus, move ``words`` words, release.
+
+        Use from a thread process as ``yield from bus.transfer("ip0", 128)``.
+        """
+        duration = self.transfer_duration(words)
+        request = _BusRequest(
+            master=master,
+            words=words,
+            priority=priority,
+            event=self.kernel.event(f"{self.name}.grant.{master}"),
+            arrival=self.kernel.now,
+        )
+        self._queue.append(request)
+        self._try_grant()
+        if not request.granted:
+            yield request.event
+        # Bus is ours now.
+        wait = self.kernel.now - request.arrival
+        self.stats.total_wait_time = self.stats.total_wait_time + wait
+        yield duration
+        self._release(request, duration)
+
+    # -- internals ----------------------------------------------------------------
+    def _select_next(self) -> Optional[_BusRequest]:
+        if not self._queue:
+            return None
+        if self.arbitration == "fifo":
+            return self._queue[0]
+        return min(self._queue, key=lambda request: (request.priority, request.arrival.femtoseconds))
+
+    def _try_grant(self) -> None:
+        if self._owner is not None:
+            return
+        request = self._select_next()
+        if request is None:
+            self.busy_signal.write(False)
+            return
+        self._queue.remove(request)
+        self._owner = request
+        request.granted = True
+        self.busy_signal.write(True)
+        request.event.notify()
+
+    def _release(self, request: _BusRequest, duration: SimTime) -> None:
+        if self._owner is not request:  # pragma: no cover - defensive
+            raise ConfigurationError("bus released by a master that does not own it")
+        self._owner = None
+        self.stats.transfer_count += 1
+        self.stats.words_transferred += request.words
+        self.stats.busy_time = self.stats.busy_time + duration
+        per_master = self.stats.per_master_words
+        per_master[request.master] = per_master.get(request.master, 0) + request.words
+        self._try_grant()

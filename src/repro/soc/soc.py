@@ -1,0 +1,316 @@
+"""SoC builder: wires IPs, PSMs, LEMs, GEM, battery, thermal sensor and bus.
+
+This module turns a declarative description (:class:`IpSpec` per IP plus a
+:class:`SocConfig`) into a ready-to-run :class:`SoC` — the structure of the
+paper's Fig. 1: every IP gets a PSM and a LEM; the optional GEM, battery
+monitor, temperature sensor, supplementary fan and shared bus are SoC-level
+singletons.
+
+The same builder produces both the DPM configuration under study and the
+paper's baseline (maximum frequency, never sleep): only the
+:class:`~repro.dpm.controller.DpmSetup` changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.battery.model import Battery, BatteryConfig
+from repro.battery.monitor import BatteryMonitor
+from repro.errors import ConfigurationError
+from repro.power.breakeven import BreakEvenAnalyzer
+from repro.power.characterization import PowerCharacterization, default_characterization
+from repro.power.energy import EnergyLedger
+from repro.power.psm import PowerStateMachine
+from repro.power.states import PowerState
+from repro.power.transitions import TransitionTable, default_transition_table
+from repro.sim.module import Module
+from repro.sim.simtime import SimTime, ZERO_TIME, ms, sec, us
+from repro.sim.simulator import Simulator
+from repro.soc.bus import Bus
+from repro.soc.ip import FunctionalIP
+from repro.soc.workload import Workload
+from repro.thermal.fan import Fan
+from repro.thermal.model import ThermalConfig, ThermalModel
+from repro.thermal.sensor import TemperatureSensor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (dpm imports soc.task)
+    from repro.dpm.controller import DpmSetup
+    from repro.dpm.gem import GlobalEnergyManager
+    from repro.dpm.lem import LocalEnergyManager
+
+__all__ = ["IpSpec", "SocConfig", "IpInstance", "SoC", "build_soc"]
+
+
+@dataclass
+class IpSpec:
+    """Declarative description of one IP block."""
+
+    name: str
+    workload: Workload
+    static_priority: int = 1
+    characterization: Optional[PowerCharacterization] = None
+    transitions: Optional[TransitionTable] = None
+    initial_state: PowerState = PowerState.ON1
+    bus_words_per_task: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("IP name must be non-empty")
+        if self.static_priority < 1:
+            raise ConfigurationError("static priority must be >= 1")
+
+
+@dataclass
+class SocConfig:
+    """SoC-level configuration shared by every IP."""
+
+    name: str = "soc"
+    battery: BatteryConfig = field(default_factory=BatteryConfig)
+    thermal: ThermalConfig = field(default_factory=ThermalConfig)
+    sample_interval: SimTime = field(default_factory=lambda: ms(1))
+    use_gem: bool = False
+    with_fan: bool = True
+    fan_power_w: float = 0.05
+    with_bus: bool = False
+    bus_words_per_second: float = 50e6
+    trace_states: bool = False
+
+    def __post_init__(self) -> None:
+        if self.sample_interval.is_zero:
+            raise ConfigurationError("sample interval must be positive")
+
+
+@dataclass
+class IpInstance:
+    """One built IP with its power-management entourage."""
+
+    spec: IpSpec
+    ip: FunctionalIP
+    psm: PowerStateMachine
+    lem: "LocalEnergyManager"
+    characterization: PowerCharacterization
+
+
+class SoC(Module):
+    """The elaborated SoC of Fig. 1, ready to simulate."""
+
+    def __init__(self, simulator: Simulator, config: SocConfig) -> None:
+        super().__init__(simulator.kernel, config.name)
+        self.simulator = simulator
+        self.config = config
+        self.ledger = EnergyLedger()
+        self.battery = Battery(config.battery)
+        self.thermal = ThermalModel(config.thermal)
+        self.battery_monitor = BatteryMonitor(
+            simulator.kernel,
+            "battery_monitor",
+            self.battery,
+            self.ledger,
+            sample_interval=config.sample_interval,
+            pre_sample=self.flush_power_books,
+            parent=self,
+        )
+        self.temperature_sensor = TemperatureSensor(
+            simulator.kernel,
+            "temperature_sensor",
+            self.thermal,
+            self.ledger,
+            sample_interval=config.sample_interval,
+            pre_sample=self.flush_power_books,
+            parent=self,
+        )
+        self.fan: Optional[Fan] = None
+        if config.with_fan:
+            self.fan = Fan(
+                simulator.kernel,
+                "fan",
+                self.thermal,
+                self.ledger.account("fan"),
+                power_w=config.fan_power_w,
+                parent=self,
+            )
+        self.bus: Optional[Bus] = None
+        if config.with_bus:
+            self.bus = Bus(
+                simulator.kernel,
+                "bus",
+                words_per_second=config.bus_words_per_second,
+                parent=self,
+            )
+        self.gem: Optional[GlobalEnergyManager] = None
+        self.instances: List[IpInstance] = []
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def ips(self) -> List[FunctionalIP]:
+        """The functional IP blocks, in creation order."""
+        return [instance.ip for instance in self.instances]
+
+    @property
+    def lems(self) -> List[LocalEnergyManager]:
+        """The local energy managers, in creation order."""
+        return [instance.lem for instance in self.instances]
+
+    @property
+    def psms(self) -> List[PowerStateMachine]:
+        """The power state machines, in creation order."""
+        return [instance.psm for instance in self.instances]
+
+    def instance(self, name: str) -> IpInstance:
+        """Look up one IP instance by name."""
+        for candidate in self.instances:
+            if candidate.spec.name == name:
+                return candidate
+        raise ConfigurationError(f"SoC has no IP named {name!r}")
+
+    @property
+    def all_done(self) -> bool:
+        """True once every IP finished its task source."""
+        return all(ip.done for ip in self.ips)
+
+    def total_energy_j(self) -> float:
+        """SoC-wide energy consumed so far."""
+        return self.ledger.total_j
+
+    # ------------------------------------------------------------------
+    # Execution helpers
+    # ------------------------------------------------------------------
+    def run_until_done(
+        self,
+        max_time: SimTime = sec(10),
+        check_interval: SimTime = ms(5),
+    ) -> SimTime:
+        """Simulate until every IP finished (or ``max_time`` elapsed).
+
+        Returns the simulated time at the end of the run.  Energy books are
+        flushed so the ledger reflects the full interval.
+        """
+        if max_time.is_zero:
+            raise ConfigurationError("max_time must be positive")
+        self.simulator.elaborate()
+        while not self.all_done and self.simulator.now.femtoseconds < max_time.femtoseconds:
+            remaining = max_time - self.simulator.now
+            chunk = check_interval if check_interval.femtoseconds < remaining.femtoseconds else remaining
+            self.simulator.run(chunk)
+        self.flush()
+        return self.simulator.now
+
+    def flush_power_books(self) -> None:
+        """Post the lazily integrated background/fan energy up to now."""
+        for instance in self.instances:
+            instance.psm.flush_energy()
+        if self.fan is not None:
+            self.fan.flush_energy()
+
+    def flush(self) -> None:
+        """Close the energy books of every PSM and the fan, and resample sensors."""
+        self.flush_power_books()
+        self.battery_monitor.sample_now()
+        self.temperature_sensor.sample_now()
+
+
+def build_soc(
+    ip_specs: Sequence[IpSpec],
+    soc_config: Optional[SocConfig] = None,
+    dpm: Optional[DpmSetup] = None,
+    simulator: Optional[Simulator] = None,
+) -> SoC:
+    """Build the complete SoC of Fig. 1.
+
+    Parameters
+    ----------
+    ip_specs:
+        One :class:`IpSpec` per IP block.
+    soc_config:
+        SoC-level configuration (battery, thermal, GEM, bus, sampling).
+    dpm:
+        The power-management setup; defaults to the paper's DPM
+        (:meth:`DpmSetup.paper`).
+    simulator:
+        Optional pre-existing simulator to build into.
+    """
+    # Imported here (not at module level) to keep repro.soc importable on its
+    # own: repro.dpm depends on repro.soc.task, so a module-level import in
+    # the other direction would create a cycle.
+    from repro.dpm.controller import DpmSetup
+    from repro.dpm.gem import GlobalEnergyManager
+    from repro.dpm.lem import LocalEnergyManager
+
+    if not ip_specs:
+        raise ConfigurationError("at least one IP is required")
+    names = [spec.name for spec in ip_specs]
+    if len(names) != len(set(names)):
+        raise ConfigurationError("IP names must be unique")
+    soc_config = soc_config or SocConfig()
+    dpm = dpm or DpmSetup.paper()
+    simulator = simulator or Simulator(name=soc_config.name)
+    soc = SoC(simulator, soc_config)
+    simulator.add_module(soc)
+
+    if soc_config.use_gem:
+        soc.gem = GlobalEnergyManager(
+            simulator.kernel,
+            "gem",
+            battery_monitor=soc.battery_monitor,
+            temperature_sensor=soc.temperature_sensor,
+            fan=soc.fan,
+            config=dpm.gem_config,
+            parent=soc,
+        )
+
+    for spec in ip_specs:
+        characterization = spec.characterization or default_characterization()
+        transitions = spec.transitions or default_transition_table(
+            reference_power_w=characterization.active_power_w(PowerState.ON1)
+        )
+        account = soc.ledger.account(spec.name)
+        psm = PowerStateMachine(
+            simulator.kernel,
+            f"{spec.name}_psm",
+            characterization=characterization,
+            transitions=transitions,
+            energy_account=account,
+            initial_state=spec.initial_state,
+            parent=soc,
+        )
+        breakeven = BreakEvenAnalyzer(characterization, transitions)
+        lem = LocalEnergyManager(
+            simulator.kernel,
+            f"{spec.name}_lem",
+            ip_name=spec.name,
+            psm=psm,
+            characterization=characterization,
+            battery=soc.battery,
+            thermal=soc.thermal,
+            breakeven=breakeven,
+            policy=dpm.make_policy(),
+            predictor=dpm.make_predictor(),
+            gem=soc.gem,
+            static_priority=spec.static_priority,
+            config=dpm.lem_config,
+            parent=soc,
+        )
+        ip = FunctionalIP(
+            simulator.kernel,
+            spec.name,
+            characterization=characterization,
+            psm=psm,
+            energy_account=account,
+            workload=spec.workload,
+            bus=soc.bus,
+            bus_words_per_task=spec.bus_words_per_task if soc.bus is not None else 0,
+            bus_priority=spec.static_priority,
+            parent=soc,
+        )
+        ip.connect_lem(lem)
+        soc.instances.append(
+            IpInstance(spec=spec, ip=ip, psm=psm, lem=lem, characterization=characterization)
+        )
+        if soc_config.trace_states:
+            simulator.watch(psm.state_signal)
+
+    return soc

@@ -1,0 +1,15 @@
+"""Thermal substrate: lumped-RC chip model, sensor, fan and level coding."""
+
+from repro.thermal.fan import Fan
+from repro.thermal.level import TemperatureLevel, TemperatureThresholds
+from repro.thermal.model import ThermalConfig, ThermalModel
+from repro.thermal.sensor import TemperatureSensor
+
+__all__ = [
+    "Fan",
+    "TemperatureLevel",
+    "TemperatureSensor",
+    "TemperatureThresholds",
+    "ThermalConfig",
+    "ThermalModel",
+]

@@ -1,0 +1,82 @@
+"""Supplementary fan.
+
+The GEM's worst-case branch ("do not enable any IP, switch on a supplementary
+fan") needs a controllable fan.  The fan improves the chip's effective
+thermal resistance (see :class:`~repro.thermal.model.ThermalModel`) but draws
+power itself, which is charged to its own energy account so the trade-off is
+visible in the results.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ThermalError
+from repro.power.energy import EnergyAccount, EnergyCategory
+from repro.sim.kernel import Kernel
+from repro.sim.module import Module
+from repro.sim.simtime import SimTime, ZERO_TIME
+from repro.thermal.model import ThermalModel
+
+__all__ = ["Fan"]
+
+
+class Fan(Module):
+    """On/off fan that cools the thermal model and consumes power."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        name: str,
+        thermal_model: ThermalModel,
+        energy_account: EnergyAccount,
+        power_w: float = 0.05,
+        parent: Optional[Module] = None,
+    ) -> None:
+        super().__init__(kernel, name, parent)
+        if power_w < 0.0:
+            raise ThermalError("fan power must be non-negative")
+        self.thermal_model = thermal_model
+        self.energy_account = energy_account
+        self.power_w = power_w
+        self.state_signal = self.signal("on", False)
+        self._switch_history: List[Tuple[SimTime, bool]] = []
+        self._last_change: SimTime = ZERO_TIME
+        self._on_time: SimTime = ZERO_TIME
+
+    @property
+    def is_on(self) -> bool:
+        """True while the fan runs."""
+        return self.state_signal.read()
+
+    @property
+    def switch_history(self) -> List[Tuple[SimTime, bool]]:
+        """Recorded ``(time, on)`` switch events."""
+        return list(self._switch_history)
+
+    @property
+    def total_on_time(self) -> SimTime:
+        """Accumulated running time (up to the last switch or flush)."""
+        return self._on_time
+
+    def set_on(self, on: bool) -> None:
+        """Switch the fan; charges the energy used since the last switch."""
+        if on == self.is_on:
+            return
+        self._account()
+        self.thermal_model.set_fan(on)
+        self.state_signal.write(on)
+        self._switch_history.append((self.kernel.now, on))
+
+    def flush_energy(self) -> None:
+        """Charge the energy of the current running interval (end of run)."""
+        self._account()
+
+    def _account(self) -> None:
+        now = self.kernel.now
+        elapsed = now - self._last_change
+        self._last_change = now
+        if self.is_on and not elapsed.is_zero:
+            self._on_time = self._on_time + elapsed
+            if self.power_w > 0.0:
+                self.energy_account.add_power(self.power_w, elapsed, EnergyCategory.OVERHEAD)

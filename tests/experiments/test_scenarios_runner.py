@@ -1,0 +1,126 @@
+"""Tests for the scenario catalogue and the experiment runner."""
+
+import pytest
+
+from repro.battery import BatteryLevel
+from repro.dpm import DpmSetup
+from repro.errors import ExperimentError
+from repro.experiments import (
+    battery_condition,
+    multi_ip_scenario,
+    paper_scenarios,
+    run_comparison,
+    run_scenario,
+    scenario_a_workload,
+    scenario_by_name,
+    single_ip_scenario,
+    thermal_condition,
+)
+from repro.experiments.table2 import simulation_speed_report, table2_report
+from repro.thermal import TemperatureLevel
+
+
+class TestConditions:
+    def test_battery_conditions_map_to_levels(self):
+        assert battery_condition("full").initial_state_of_charge > 0.85
+        assert battery_condition("low").initial_state_of_charge < 0.30
+        from repro.battery import Battery
+
+        assert Battery(battery_condition("full")).level is BatteryLevel.FULL
+        assert Battery(battery_condition("low")).level is BatteryLevel.LOW
+        assert Battery(battery_condition("empty")).level is BatteryLevel.EMPTY
+        with pytest.raises(ExperimentError):
+            battery_condition("turbo")
+
+    def test_thermal_conditions(self):
+        low = thermal_condition("low")
+        high = thermal_condition("high")
+        assert low.thresholds.classify(low.initial_c) is TemperatureLevel.LOW
+        assert high.ambient_c > low.ambient_c
+        assert high.initial_c > low.initial_c
+        quad = thermal_condition("low", ip_count=4)
+        assert quad.thermal_resistance_c_per_w < low.thermal_resistance_c_per_w
+        with pytest.raises(ExperimentError):
+            thermal_condition("volcanic")
+
+
+class TestScenarioCatalogue:
+    def test_paper_scenarios_cover_table2(self):
+        names = [scenario.name for scenario in paper_scenarios()]
+        assert names == ["A1", "A2", "A3", "A4", "B", "C"]
+
+    def test_scenario_by_name(self):
+        assert scenario_by_name("a2").name == "A2"
+        with pytest.raises(ExperimentError):
+            scenario_by_name("Z1")
+
+    def test_scenario_a_workload_mixed_statistics(self):
+        workload = scenario_a_workload(task_count=40)
+        busy_half = workload.items[:20]
+        idle_half = workload.items[20:]
+        mean_busy_idle = sum(i.idle_after.seconds for i in busy_half) / 20
+        mean_idle_idle = sum(i.idle_after.seconds for i in idle_half) / 20
+        assert mean_idle_idle > 3 * mean_busy_idle
+        with pytest.raises(ExperimentError):
+            scenario_a_workload(task_count=1)
+
+    def test_single_ip_scenario_structure(self):
+        scenario = single_ip_scenario("X", "full", "low")
+        specs = scenario.build_specs()
+        assert len(specs) == 1
+        config = scenario.build_config()
+        assert not config.use_gem
+
+    def test_multi_ip_scenario_structure(self):
+        scenario = multi_ip_scenario("Y", "low", "low", high_activity_ips=(1, 2))
+        specs = scenario.build_specs()
+        assert len(specs) == 4
+        assert [spec.static_priority for spec in specs] == [1, 2, 3, 4]
+        config = scenario.build_config()
+        assert config.use_gem
+        busy1 = specs[0].workload.busy_fraction(200e6)
+        busy3 = specs[2].workload.busy_fraction(200e6)
+        assert busy1 > busy3
+        with pytest.raises(ExperimentError):
+            multi_ip_scenario("Z", "low", "low", high_activity_ips=())
+
+    def test_scenario_factories_produce_fresh_objects(self):
+        scenario = single_ip_scenario("X", "full", "low")
+        assert scenario.build_specs()[0] is not scenario.build_specs()[0]
+        assert scenario.build_config() is not scenario.build_config()
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def small_scenario(self):
+        return single_ip_scenario("small", "full", "low", task_count=10)
+
+    def test_run_scenario_produces_artifacts(self, small_scenario):
+        artefacts = run_scenario(small_scenario, DpmSetup.paper())
+        assert artefacts.all_tasks_completed
+        assert artefacts.total_energy_j > 0.0
+        assert artefacts.end_time.seconds > 0.0
+        assert artefacts.cycles_simulated() > 0.0
+        assert artefacts.kilocycles_per_second() > 0.0
+        summary = artefacts.per_ip_summary()
+        assert "ip1" in summary
+        assert summary["ip1"]["tasks"] == 10.0
+
+    def test_run_comparison_metrics_sane(self, small_scenario):
+        metrics = run_comparison(small_scenario)
+        assert 0.0 < metrics.energy_saving_pct < 100.0
+        assert metrics.average_delay_overhead_pct >= 0.0
+        assert metrics.tasks_executed == 10
+        assert metrics.baseline_energy_j > metrics.dpm_energy_j
+
+    def test_baseline_against_itself_saves_nothing(self, small_scenario):
+        metrics = run_comparison(small_scenario, dpm=DpmSetup.always_on())
+        assert abs(metrics.energy_saving_pct) < 2.0
+        assert metrics.average_delay_overhead_pct < 2.0
+
+    def test_reports_render(self, small_scenario):
+        metrics = run_comparison(small_scenario)
+        text = table2_report([metrics])
+        assert "small" in text
+        speed_text = simulation_speed_report({"small": 123.4})
+        assert "123.4" in speed_text

@@ -1,0 +1,312 @@
+"""Unit tests for the discrete-event kernel: events, processes, scheduling."""
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim import AllOf, AnyOf, Kernel, ns, us, ZERO_TIME
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+class TestTimedWaits:
+    def test_single_timed_wait(self, kernel):
+        log = []
+
+        def proc():
+            log.append(("start", kernel.now.nanoseconds))
+            yield ns(10)
+            log.append(("after", kernel.now.nanoseconds))
+
+        kernel.create_thread(proc, "proc")
+        kernel.run()
+        assert log == [("start", 0.0), ("after", 10.0)]
+
+    def test_sequential_waits_accumulate(self, kernel):
+        times = []
+
+        def proc():
+            for _ in range(5):
+                yield ns(3)
+                times.append(kernel.now.nanoseconds)
+
+        kernel.create_thread(proc, "proc")
+        kernel.run()
+        assert times == [3.0, 6.0, 9.0, 12.0, 15.0]
+
+    def test_run_with_duration_stops_at_end(self, kernel):
+        ticks = []
+
+        def proc():
+            while True:
+                yield ns(10)
+                ticks.append(kernel.now.nanoseconds)
+
+        kernel.create_thread(proc, "proc")
+        end = kernel.run(ns(35))
+        assert ticks == [10.0, 20.0, 30.0]
+        assert end == ns(35)
+
+    def test_run_is_resumable(self, kernel):
+        ticks = []
+
+        def proc():
+            while True:
+                yield ns(10)
+                ticks.append(kernel.now.nanoseconds)
+
+        kernel.create_thread(proc, "proc")
+        kernel.run(ns(25))
+        kernel.run(ns(25))
+        assert ticks == [10.0, 20.0, 30.0, 40.0, 50.0]
+        assert kernel.now == ns(50)
+
+    def test_two_processes_interleave_deterministically(self, kernel):
+        order = []
+
+        def fast():
+            while kernel.now < ns(30):
+                yield ns(10)
+                order.append(("fast", kernel.now.nanoseconds))
+
+        def slow():
+            while kernel.now < ns(30):
+                yield ns(15)
+                order.append(("slow", kernel.now.nanoseconds))
+
+        kernel.create_thread(fast, "fast")
+        kernel.create_thread(slow, "slow")
+        kernel.run(ns(100))
+        # At t=30 both processes are due; the one whose wait was scheduled
+        # first (slow, armed at t=15) resumes first: insertion order is kept.
+        assert order == [
+            ("fast", 10.0),
+            ("slow", 15.0),
+            ("fast", 20.0),
+            ("slow", 30.0),
+            ("fast", 30.0),
+        ]
+
+    def test_starvation_ends_run_without_duration(self, kernel):
+        def proc():
+            yield ns(5)
+
+        kernel.create_thread(proc, "proc")
+        end = kernel.run()
+        assert end == ns(5)
+        assert not kernel.pending_activity
+
+
+class TestEvents:
+    def test_timed_event_wakes_waiter(self, kernel):
+        event = kernel.event("go")
+        log = []
+
+        def waiter():
+            yield event
+            log.append(kernel.now.nanoseconds)
+
+        def notifier():
+            yield ns(7)
+            event.notify()
+
+        kernel.create_thread(waiter, "waiter")
+        kernel.create_thread(notifier, "notifier")
+        kernel.run()
+        assert log == [7.0]
+
+    def test_notify_after_delay(self, kernel):
+        event = kernel.event("go")
+        log = []
+
+        def waiter():
+            yield event
+            log.append(kernel.now.nanoseconds)
+
+        def notifier():
+            event.notify_after(ns(42))
+            return
+            yield  # pragma: no cover
+
+        kernel.create_thread(waiter, "waiter")
+        kernel.create_thread(notifier, "notifier")
+        kernel.run()
+        assert log == [42.0]
+
+    def test_delta_notification_keeps_time(self, kernel):
+        event = kernel.event("go")
+        log = []
+
+        def waiter():
+            yield event
+            log.append(kernel.now.nanoseconds)
+
+        def notifier():
+            yield ns(5)
+            event.notify_delta()
+
+        kernel.create_thread(waiter, "waiter")
+        kernel.create_thread(notifier, "notifier")
+        kernel.run()
+        assert log == [5.0]
+
+    def test_any_of_wakes_on_first_event(self, kernel):
+        early = kernel.event("early")
+        late = kernel.event("late")
+        log = []
+
+        def waiter():
+            yield AnyOf([early, late])
+            log.append(kernel.now.nanoseconds)
+
+        def notifier():
+            early.notify_after(ns(3))
+            late.notify_after(ns(9))
+            return
+            yield  # pragma: no cover
+
+        kernel.create_thread(waiter, "waiter")
+        kernel.create_thread(notifier, "notifier")
+        kernel.run()
+        assert log == [3.0]
+
+    def test_all_of_waits_for_every_event(self, kernel):
+        first = kernel.event("first")
+        second = kernel.event("second")
+        log = []
+
+        def waiter():
+            yield AllOf([first, second])
+            log.append(kernel.now.nanoseconds)
+
+        def notifier():
+            first.notify_after(ns(3))
+            second.notify_after(ns(9))
+            return
+            yield  # pragma: no cover
+
+        kernel.create_thread(waiter, "waiter")
+        kernel.create_thread(notifier, "notifier")
+        kernel.run()
+        assert log == [9.0]
+
+    def test_event_wait_is_one_shot(self, kernel):
+        event = kernel.event("go")
+        wakeups = []
+
+        def waiter():
+            yield event
+            wakeups.append(kernel.now.nanoseconds)
+            # Not waiting again: further notifications must not wake us.
+
+        def notifier():
+            yield ns(1)
+            event.notify()
+            yield ns(1)
+            event.notify()
+
+        kernel.create_thread(waiter, "waiter")
+        kernel.create_thread(notifier, "notifier")
+        kernel.run()
+        assert wakeups == [1.0]
+
+    def test_anyof_requires_events(self, kernel):
+        with pytest.raises(SchedulingError):
+            AnyOf([])
+        with pytest.raises(SchedulingError):
+            AllOf([])
+
+
+class TestMethodProcesses:
+    def test_method_runs_on_each_notification(self, kernel):
+        event = kernel.event("tick")
+        calls = []
+
+        kernel.create_method(lambda: calls.append(kernel.now.nanoseconds), [event], "m",
+                             dont_initialize=True)
+
+        def driver():
+            for _ in range(3):
+                yield ns(10)
+                event.notify()
+
+        kernel.create_thread(driver, "driver")
+        kernel.run()
+        assert calls == [10.0, 20.0, 30.0]
+
+    def test_method_initialization_call(self, kernel):
+        event = kernel.event("tick")
+        calls = []
+        kernel.create_method(lambda: calls.append(kernel.now.nanoseconds), [event], "m")
+        kernel.run()
+        assert calls == [0.0]
+
+
+class TestKernelControl:
+    def test_stop_halts_simulation(self, kernel):
+        ticks = []
+
+        def proc():
+            while True:
+                yield ns(10)
+                ticks.append(kernel.now.nanoseconds)
+                if len(ticks) == 3:
+                    kernel.stop()
+
+        kernel.create_thread(proc, "proc")
+        kernel.run()
+        assert ticks == [10.0, 20.0, 30.0]
+
+    def test_run_not_reentrant(self, kernel):
+        def proc():
+            with pytest.raises(SimulationError):
+                kernel.run()
+            yield ns(1)
+
+        kernel.create_thread(proc, "proc")
+        kernel.run()
+
+    def test_invalid_wait_spec_raises(self, kernel):
+        def proc():
+            yield "not a wait spec"
+
+        kernel.create_thread(proc, "proc")
+        with pytest.raises(SchedulingError):
+            kernel.run()
+
+    def test_yield_none_without_sensitivity_raises(self, kernel):
+        def proc():
+            yield None
+
+        kernel.create_thread(proc, "proc")
+        with pytest.raises(SchedulingError):
+            kernel.run()
+
+    def test_statistics_counted(self, kernel):
+        def proc():
+            for _ in range(4):
+                yield ns(1)
+
+        kernel.create_thread(proc, "proc")
+        kernel.run()
+        stats = kernel.stats.as_dict()
+        assert stats["processes_created"] == 1
+        assert stats["timed_notifications"] == 4
+        assert stats["process_activations"] >= 5
+
+    def test_process_registered_after_start_runs(self, kernel):
+        log = []
+
+        def late():
+            yield ns(2)
+            log.append(("late", kernel.now.nanoseconds))
+
+        def spawner():
+            yield ns(5)
+            kernel.create_thread(late, "late")
+
+        kernel.create_thread(spawner, "spawner")
+        kernel.run()
+        assert log == [("late", 7.0)]

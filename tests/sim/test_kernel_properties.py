@@ -1,0 +1,190 @@
+"""Property-based tests of the discrete-event kernel.
+
+These tests drive the scheduler with randomly generated workloads of timed
+waits, event notifications and signal writes, and assert the invariants any
+discrete-event kernel must uphold: time never goes backwards, all work is
+eventually performed, simultaneous events preserve a deterministic order,
+and repeated runs of the same model produce identical traces.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Kernel, Signal, ns, us
+
+
+@st.composite
+def wait_lists(draw):
+    """A list of per-process lists of wait durations (in nanoseconds)."""
+    process_count = draw(st.integers(min_value=1, max_value=4))
+    return [
+        draw(st.lists(st.integers(min_value=1, max_value=500), min_size=1, max_size=15))
+        for _ in range(process_count)
+    ]
+
+
+class TestSchedulingProperties:
+    @given(waits=wait_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_time_is_monotonic_and_all_work_completes(self, waits):
+        kernel = Kernel()
+        observed = []
+
+        def make_proc(durations):
+            def proc():
+                for duration in durations:
+                    yield ns(duration)
+                    observed.append(kernel.now.femtoseconds)
+            return proc
+
+        for index, durations in enumerate(waits):
+            kernel.create_thread(make_proc(durations), f"p{index}")
+        kernel.run()
+        # Every wait of every process was honoured.
+        assert len(observed) == sum(len(d) for d in waits)
+        # Observations are globally non-decreasing (time never goes back).
+        assert observed == sorted(observed)
+        # The final time is the longest per-process sum.
+        expected_end = max(sum(d) for d in waits)
+        assert kernel.now == ns(expected_end)
+
+    @given(waits=wait_lists())
+    @settings(max_examples=30, deadline=None)
+    def test_runs_are_deterministic(self, waits):
+        def run_once():
+            kernel = Kernel()
+            log = []
+
+            def make_proc(name, durations):
+                def proc():
+                    for duration in durations:
+                        yield ns(duration)
+                        log.append((name, kernel.now.femtoseconds))
+                return proc
+
+            for index, durations in enumerate(waits):
+                kernel.create_thread(make_proc(f"p{index}", durations), f"p{index}")
+            kernel.run()
+            return log
+
+        assert run_once() == run_once()
+
+    @given(
+        waits=wait_lists(),
+        chunk_ns=st.integers(min_value=10, max_value=2000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_chunked_runs_equal_single_run(self, waits, chunk_ns):
+        """Running in many small chunks gives the same trace as one big run."""
+
+        def run(chunked):
+            kernel = Kernel()
+            log = []
+
+            def make_proc(name, durations):
+                def proc():
+                    for duration in durations:
+                        yield ns(duration)
+                        log.append((name, kernel.now.femtoseconds))
+                return proc
+
+            for index, durations in enumerate(waits):
+                kernel.create_thread(make_proc(f"p{index}", durations), f"p{index}")
+            total = max(sum(d) for d in waits)
+            if chunked:
+                while kernel.now < ns(total):
+                    kernel.run(ns(chunk_ns))
+            else:
+                kernel.run(ns(total))
+            return log
+
+        assert run(True) == run(False)
+
+    @given(values=st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_signal_readers_see_writes_one_delta_late_and_in_order(self, values):
+        kernel = Kernel()
+        sig = Signal(kernel, "s", -1)
+        seen = []
+
+        def writer():
+            for value in values:
+                sig.write(value)
+                yield ns(10)
+
+        def reader():
+            while True:
+                yield sig.changed_event
+                seen.append(sig.read())
+
+        kernel.create_thread(writer, "writer")
+        kernel.create_thread(reader, "reader")
+        kernel.run()
+        # The reader observes exactly the sequence of distinct values, in order.
+        expected = []
+        last = -1
+        for value in values:
+            if value != last:
+                expected.append(value)
+                last = value
+        assert seen == expected
+
+    @given(delays=st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_event_notifications_fire_in_time_order(self, delays):
+        kernel = Kernel()
+        fired = []
+        events = [kernel.event(f"e{i}") for i in range(len(delays))]
+
+        def make_waiter(index):
+            def waiter():
+                yield events[index]
+                fired.append((kernel.now.femtoseconds, index))
+            return waiter
+
+        for index in range(len(delays)):
+            kernel.create_thread(make_waiter(index), f"w{index}")
+
+        def notifier():
+            for index, delay in enumerate(delays):
+                events[index].notify_after(ns(delay))
+            return
+            yield  # pragma: no cover
+
+        kernel.create_thread(notifier, "notifier")
+        kernel.run()
+        assert len(fired) == len(delays)
+        times = [time for time, _ in fired]
+        assert times == sorted(times)
+        # Events scheduled for the same instant fire in notification order.
+        by_time = {}
+        for time, index in fired:
+            by_time.setdefault(time, []).append(index)
+        for time, indices in by_time.items():
+            same_delay = [i for i, d in enumerate(delays) if ns(d).femtoseconds == time]
+            assert indices == same_delay
+
+
+class TestStatisticsProperties:
+    @given(waits=wait_lists())
+    @settings(max_examples=30, deadline=None)
+    def test_activation_counts_match_work(self, waits):
+        kernel = Kernel()
+
+        def make_proc(durations):
+            def proc():
+                for duration in durations:
+                    yield ns(duration)
+            return proc
+
+        for index, durations in enumerate(waits):
+            kernel.create_thread(make_proc(durations), f"p{index}")
+        kernel.run()
+        stats = kernel.stats.as_dict()
+        total_waits = sum(len(d) for d in waits)
+        assert stats["timed_notifications"] == total_waits
+        assert stats["processes_created"] == len(waits)
+        # Start + one resume per wait (the final resume terminates the process).
+        assert stats["process_activations"] == len(waits) + total_waits

@@ -1,0 +1,166 @@
+"""Tests for the shared bus and the service-request channel."""
+
+import pytest
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.sim import Kernel, Simulator, ms, us
+from repro.soc import Bus, ServiceChannel, ServiceRequestGenerator, Task, periodic_workload
+from repro.soc.service import ServiceRequest
+
+
+class TestBus:
+    def make_bus(self, arbitration="priority", words_per_second=1e6):
+        sim = Simulator()
+        bus = Bus(sim.kernel, "bus", words_per_second=words_per_second, arbitration=arbitration)
+        sim.add_module(bus)
+        return sim, bus
+
+    def test_invalid_configuration_rejected(self):
+        kernel = Kernel()
+        with pytest.raises(ConfigurationError):
+            Bus(kernel, "bus", words_per_second=0.0)
+        with pytest.raises(ConfigurationError):
+            Bus(kernel, "bus2", arbitration="lottery")
+
+    def test_transfer_duration(self):
+        _, bus = self.make_bus()
+        assert bus.transfer_duration(1000).seconds == pytest.approx(1e-3)
+        with pytest.raises(ConfigurationError):
+            bus.transfer_duration(0)
+
+    def test_single_master_transfer(self):
+        sim, bus = self.make_bus()
+        log = []
+
+        def master():
+            yield from bus.transfer("m0", 500)
+            log.append(sim.now.seconds)
+
+        sim.kernel.create_thread(master, "m0")
+        sim.run(ms(10))
+        assert log == [pytest.approx(5e-4)]
+        assert bus.stats.transfer_count == 1
+        assert bus.stats.words_transferred == 500
+        assert bus.stats.per_master_words["m0"] == 500
+        assert not bus.is_busy
+
+    def test_contention_serialises_transfers(self):
+        sim, bus = self.make_bus(arbitration="fifo")
+        completions = []
+
+        def master(name):
+            def proc():
+                yield from bus.transfer(name, 1000)
+                completions.append((name, sim.now.seconds))
+            return proc
+
+        sim.kernel.create_thread(master("m0"), "m0")
+        sim.kernel.create_thread(master("m1"), "m1")
+        sim.run(ms(10))
+        assert [name for name, _ in completions] == ["m0", "m1"]
+        assert completions[0][1] == pytest.approx(1e-3)
+        assert completions[1][1] == pytest.approx(2e-3)
+        assert bus.stats.busy_time.seconds == pytest.approx(2e-3)
+
+    def test_priority_arbitration_prefers_low_number(self):
+        sim, bus = self.make_bus(arbitration="priority")
+        completions = []
+
+        def holder():
+            yield from bus.transfer("holder", 1000, priority=0)
+            completions.append("holder")
+
+        def low_priority():
+            yield us(10)
+            yield from bus.transfer("low", 1000, priority=5)
+            completions.append("low")
+
+        def high_priority():
+            yield us(20)
+            yield from bus.transfer("high", 1000, priority=1)
+            completions.append("high")
+
+        sim.kernel.create_thread(holder, "holder")
+        sim.kernel.create_thread(low_priority, "low")
+        sim.kernel.create_thread(high_priority, "high")
+        sim.run(ms(10))
+        # While the holder owns the bus both others queue; the high-priority
+        # master (lower number) wins the next grant despite arriving later.
+        assert completions == ["holder", "high", "low"]
+
+    def test_occupancy_and_waiting_stats(self):
+        sim, bus = self.make_bus()
+
+        def master(name, delay):
+            def proc():
+                yield delay
+                yield from bus.transfer(name, 2000)
+            return proc
+
+        sim.kernel.create_thread(master("m0", us(0)), "m0")
+        sim.kernel.create_thread(master("m1", us(10)), "m1")
+        sim.run(ms(10))
+        assert 0.0 < bus.occupancy() <= 1.0
+        assert bus.stats.average_wait().seconds > 0.0
+        assert bus.stats.occupancy(ms(4)) == pytest.approx(1.0)
+
+
+class TestServiceChannel:
+    def test_push_pop_counts(self):
+        kernel = Kernel()
+        channel = ServiceChannel(kernel, "svc")
+        channel.push_task(Task("t0", 100))
+        channel.push_task(Task("t1", 100))
+        assert channel.pending == 2
+        request = channel.try_pop()
+        assert request.task.name == "t0"
+        assert channel.pending == 1
+        assert channel.pushed_count == 2
+        assert channel.popped_count == 1
+
+    def test_try_pop_empty_returns_none(self):
+        channel = ServiceChannel(Kernel(), "svc")
+        assert channel.try_pop() is None
+
+    def test_closed_channel_rejects_push(self):
+        channel = ServiceChannel(Kernel(), "svc")
+        channel.close()
+        assert channel.is_closed
+        with pytest.raises(WorkloadError):
+            channel.push(ServiceRequest(task=Task("t0", 1)))
+
+    def test_consumer_waits_for_producer(self):
+        sim = Simulator()
+        channel = ServiceChannel(sim.kernel, "svc")
+        consumed = []
+
+        def consumer():
+            while True:
+                request = yield from channel.wait_and_pop()
+                if request is None:
+                    return
+                consumed.append((request.task.name, sim.now.seconds))
+
+        def producer():
+            yield ms(1)
+            channel.push_task(Task("a", 10))
+            yield ms(1)
+            channel.push_task(Task("b", 10))
+            channel.close()
+
+        sim.kernel.create_thread(consumer, "consumer")
+        sim.kernel.create_thread(producer, "producer")
+        sim.run(ms(10))
+        assert [name for name, _ in consumed] == ["a", "b"]
+        assert consumed[0][1] == pytest.approx(1e-3)
+
+    def test_generator_module_pushes_workload(self):
+        sim = Simulator()
+        channel = ServiceChannel(sim.kernel, "svc")
+        workload = periodic_workload(task_count=5, cycles=1000, idle=ms(1))
+        generator = ServiceRequestGenerator(sim.kernel, "generator", workload, channel)
+        sim.add_module(generator)
+        sim.run(ms(20))
+        assert generator.issued == 5
+        assert channel.pushed_count == 5
+        assert channel.is_closed

@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro-dpm" in capsys.readouterr().out
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 0
+        assert "table2" in capsys.readouterr().out
+
+    def test_parser_knows_all_subcommands(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("table2", "scenario", "rules", "sweep", "speed", "breakeven"):
+            assert command in text
+
+
+class TestRulesCommand:
+    def test_print_full_table(self, capsys):
+        assert main(["rules"]) == 0
+        out = capsys.readouterr().out
+        assert "t1-row1" in out
+        assert "ON4" in out
+
+    def test_query_single_combination(self, capsys):
+        assert main(["rules", "--priority", "very_high", "--battery", "empty",
+                     "--temperature", "low"]) == 0
+        assert "ON4" in capsys.readouterr().out
+
+    def test_partial_query_is_an_error(self, capsys):
+        assert main(["rules", "--priority", "low"]) == 2
+        assert "together" in capsys.readouterr().err
+
+
+class TestBreakevenCommand:
+    def test_breakeven_lists_sleep_states(self, capsys):
+        assert main(["breakeven"]) == 0
+        out = capsys.readouterr().out
+        for state in ("SL1", "SL2", "SL3", "SL4", "OFF"):
+            assert state in out
+
+
+class TestScenarioCommands:
+    def test_scenario_command_runs_a_row(self, capsys):
+        assert main(["scenario", "A1"]) == 0
+        out = capsys.readouterr().out
+        assert "energy saving" in out
+        assert "Scenario A1" in out
+
+    def test_scenario_with_alternative_setup(self, capsys):
+        assert main(["scenario", "A1", "--setup", "greedy-sleep"]) == 0
+        assert "greedy-sleep" in capsys.readouterr().out
+
+    def test_table2_subset(self, capsys):
+        assert main(["table2", "A1"]) == 0
+        out = capsys.readouterr().out
+        assert "A1" in out
+        assert "Saving % (paper)" in out
