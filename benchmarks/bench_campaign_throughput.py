@@ -1,0 +1,101 @@
+"""Campaign executor throughput: worker-pool fan-out vs. the serial runner.
+
+Parameter-grid campaigns are embarrassingly parallel — every job is an
+independent simulation — so the pool should scale close to linearly until
+the grid is exhausted or the cores are.  These benchmarks run the same
+12-job grid serially (``workers=1``) and through the multiprocessing pool,
+attach the measured speedup to ``extra_info``, and assert that parallel
+execution actually helps (with generous slack: pool startup costs real time
+on a grid this small).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import shutil
+import tempfile
+
+import pytest
+
+from repro.campaign import CampaignSpec, run_campaign
+
+_WORKERS = min(4, multiprocessing.cpu_count())
+
+
+def _grid() -> CampaignSpec:
+    return CampaignSpec.from_dict(
+        {
+            "name": "bench-grid",
+            "scenarios": [
+                {"kind": "single_ip", "name": "busy", "battery": "low",
+                 "temperature": "low", "task_count": 30},
+                {"kind": "single_ip", "name": "hot", "battery": "low",
+                 "temperature": "high", "task_count": 30},
+            ],
+            "setups": ["paper", "greedy-sleep"],
+            "seeds": [1, 2, 3],
+        }
+    )
+
+
+@pytest.fixture
+def campaign_dir():
+    path = tempfile.mkdtemp(prefix="bench-campaign-")
+    yield path
+    shutil.rmtree(path, ignore_errors=True)
+
+
+def _run(workers: int, directory: str):
+    summary = run_campaign(_grid(), directory, workers=workers)
+    assert summary.ok == summary.total_jobs == 12
+    return summary
+
+
+@pytest.mark.benchmark(group="campaign-throughput")
+def test_campaign_serial(benchmark, campaign_dir):
+    """Baseline: the 12-job grid through the in-process executor."""
+    summary = benchmark.pedantic(lambda: _run(1, campaign_dir), rounds=1, iterations=1)
+    benchmark.extra_info["jobs"] = summary.total_jobs
+    benchmark.extra_info["jobs_per_second"] = round(
+        summary.total_jobs / summary.wall_clock_s, 2
+    )
+    print(f"\n[campaign serial] 12 jobs in {summary.wall_clock_s:.2f} s")
+
+
+@pytest.mark.benchmark(group="campaign-throughput")
+def test_campaign_parallel(benchmark, campaign_dir):
+    """The same grid over the worker pool; reports the speedup."""
+    serial_dir = tempfile.mkdtemp(prefix="bench-campaign-serial-")
+    try:
+        serial = _run(1, serial_dir)
+    finally:
+        shutil.rmtree(serial_dir, ignore_errors=True)
+
+    summary = benchmark.pedantic(
+        lambda: _run(_WORKERS, campaign_dir), rounds=1, iterations=1
+    )
+    speedup = serial.wall_clock_s / summary.wall_clock_s
+    benchmark.extra_info["workers"] = _WORKERS
+    benchmark.extra_info["speedup_vs_serial"] = round(speedup, 2)
+    print(
+        f"\n[campaign parallel] 12 jobs, {_WORKERS} workers in "
+        f"{summary.wall_clock_s:.2f} s (speedup x{speedup:.1f} vs serial)"
+    )
+    if _WORKERS > 1:
+        # Near-linear is the goal; pool startup eats part of it on a small
+        # grid, so only assert that parallelism is a clear net win.
+        assert speedup > 1.2
+
+
+@pytest.mark.benchmark(group="campaign-throughput")
+def test_campaign_resume_is_free(benchmark, campaign_dir):
+    """--resume on a complete store executes nothing and costs ~no time."""
+    _run(1, campaign_dir)
+
+    def resume():
+        summary = run_campaign(_grid(), campaign_dir, workers=1, resume=True)
+        assert summary.executed == 0
+        assert summary.skipped == 12
+        return summary
+
+    benchmark(resume)

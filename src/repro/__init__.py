@@ -20,6 +20,10 @@ The package is organised in layers:
   delay overhead) and report rendering.
 * :mod:`repro.experiments` — the scenario catalogue (A1–A4, B, C) and the
   runners that regenerate the paper's Table 2 and simulation-speed figure.
+* :mod:`repro.campaign` — parallel experiment campaigns: declarative
+  scenario x setup x seed grids (JSON/TOML or Python), a multiprocessing
+  executor with per-job timeouts and failure capture, a content-addressed
+  result store with resume, and aggregation back into the analysis layer.
 """
 
 __version__ = "1.0.0"

@@ -1,0 +1,221 @@
+"""Campaign execution: fan the job grid out over a worker pool.
+
+The executor is deliberately simple and robust:
+
+* every job is *pure data* (see :mod:`repro.campaign.spec`), so it pickles
+  cleanly into a ``multiprocessing`` pool and its hash is stable;
+* the worker (:func:`execute_job`) never raises — failures and per-job
+  timeouts are captured as ``error`` / ``timeout`` records so one broken
+  grid cell cannot take down a thousand-job campaign;
+* the parent process writes each record to the
+  :class:`~repro.campaign.store.ResultStore` as soon as it arrives, which
+  makes interrupting a campaign safe: a later ``--resume`` run executes only
+  the jobs with no stored ``ok`` record.
+
+``workers=1`` runs in-process (no pool), which is the easiest mode to debug
+and what the tests use for determinism checks; ``workers=N`` uses
+``multiprocessing.Pool`` with ``imap_unordered`` so slow jobs do not hold
+back the rest of the grid.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Union
+
+from repro.campaign.spec import CampaignSpec, JobSpec, build_scenario, build_setup
+from repro.campaign.store import ResultStore
+from repro.errors import CampaignError
+
+__all__ = ["CampaignSummary", "execute_job", "run_campaign"]
+
+
+@dataclass
+class CampaignSummary:
+    """What one ``run_campaign`` invocation did."""
+
+    campaign: str
+    total_jobs: int
+    executed: int = 0
+    skipped: int = 0
+    ok: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    wall_clock_s: float = 0.0
+    records: List[Dict[str, Any]] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat dictionary view (used by the CLI and benchmarks)."""
+        return {
+            "campaign": self.campaign,
+            "total_jobs": self.total_jobs,
+            "executed": self.executed,
+            "skipped": self.skipped,
+            "ok": self.ok,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "wall_clock_s": self.wall_clock_s,
+        }
+
+
+class _JobTimeout(Exception):
+    """Internal: the per-job alarm fired."""
+
+
+def _run_with_timeout(func: Callable[[], Any], timeout_s: Optional[float]) -> Any:
+    """Run ``func`` under a SIGALRM-based timeout (no-op where unsupported)."""
+    if not timeout_s or not hasattr(signal, "SIGALRM"):
+        return func()
+
+    def _alarm(_signum, _frame):
+        raise _JobTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        return func()
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def execute_job(job_dict: Mapping[str, Any], timeout_s: Optional[float] = None) -> Dict[str, Any]:
+    """Run one campaign job and return its result record (never raises).
+
+    The record always carries ``job_id``, ``job``, ``status`` and ``label``;
+    successful jobs add ``metrics`` and ``per_ip``, failed jobs add ``error``.
+    """
+    from repro.experiments.runner import run_comparison
+
+    job = JobSpec.from_dict(job_dict)
+    record: Dict[str, Any] = {
+        "job_id": job.job_id,
+        "job": job.to_dict(),
+        "label": job.label,
+        "scenario": job.scenario["name"],
+        "setup": job.setup["name"],
+        "seed": job.seed,
+        "worker_pid": os.getpid(),
+    }
+    wall_start = time.perf_counter()
+    try:
+        scenario = build_scenario(job.scenario, seed=job.seed)
+        metrics = _run_with_timeout(
+            lambda: run_comparison(
+                scenario,
+                dpm=build_setup(job.setup),
+                baseline=build_setup(job.baseline),
+            ),
+            timeout_s,
+        )
+    except _JobTimeout:
+        record["status"] = "timeout"
+        record["error"] = {
+            "type": "JobTimeout",
+            "message": f"job exceeded the {timeout_s:g} s timeout",
+        }
+    except Exception as error:  # noqa: BLE001 - one bad cell must not kill the pool
+        record["status"] = "error"
+        record["error"] = {
+            "type": type(error).__name__,
+            "message": str(error),
+            "traceback": traceback.format_exc(),
+        }
+    else:
+        record["status"] = "ok"
+        record["metrics"] = metrics.as_dict()
+        record["per_ip"] = metrics.per_ip
+    record["wall_clock_s"] = time.perf_counter() - wall_start
+    return record
+
+
+def _execute_job_star(payload) -> Dict[str, Any]:
+    """Pool adapter: unpack ``(job_dict, timeout_s)``."""
+    job_dict, timeout_s = payload
+    return execute_job(job_dict, timeout_s)
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    directory: Union[str, os.PathLike],
+    workers: int = 1,
+    resume: bool = False,
+    job_timeout_s: Optional[float] = None,
+    progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> CampaignSummary:
+    """Execute a campaign grid, persisting every result to ``directory``.
+
+    Parameters
+    ----------
+    spec:
+        The campaign to run.
+    directory:
+        Campaign directory; created if missing.  Holds the manifest and the
+        content-addressed result records.
+    workers:
+        Pool size.  ``1`` runs in-process; ``N > 1`` fans out over a
+        ``multiprocessing`` pool.
+    resume:
+        When true, jobs whose hash already has an ``ok`` record in the store
+        are skipped, so only missing/changed/failed jobs execute.
+    job_timeout_s:
+        Per-job wall-clock timeout (overrides ``spec.job_timeout_s``).
+    progress:
+        Optional callback invoked with each record as it is stored.
+    """
+    if workers < 1:
+        raise CampaignError("workers must be >= 1")
+    timeout_s = job_timeout_s if job_timeout_s is not None else spec.job_timeout_s
+    store = ResultStore(directory)
+    store.write_manifest(spec.to_dict())
+    jobs = spec.jobs()
+    summary = CampaignSummary(campaign=spec.name, total_jobs=len(jobs))
+    done = store.job_ids(status="ok") if resume else set()
+    pending: List[JobSpec] = []
+    for job in jobs:
+        record = store.get(job.job_id) if job.job_id in done else None
+        if record is not None:
+            summary.skipped += 1
+            summary.records.append(record)
+        else:
+            pending.append(job)
+
+    wall_start = time.perf_counter()
+
+    def consume(record: Dict[str, Any]) -> None:
+        store.put(record)
+        summary.records.append(record)
+        summary.executed += 1
+        status = record.get("status")
+        if status == "ok":
+            summary.ok += 1
+        elif status == "timeout":
+            summary.timeouts += 1
+        else:
+            summary.errors += 1
+        if progress is not None:
+            progress(record)
+
+    if workers == 1 or len(pending) <= 1:
+        for job in pending:
+            consume(execute_job(job.to_dict(), timeout_s))
+    else:
+        import multiprocessing
+
+        payloads = [(job.to_dict(), timeout_s) for job in pending]
+        with multiprocessing.Pool(processes=min(workers, len(pending))) as pool:
+            try:
+                for record in pool.imap_unordered(_execute_job_star, payloads):
+                    consume(record)
+            except KeyboardInterrupt:
+                # Everything already consumed is safely in the store; drop
+                # the rest so a later --resume run picks the missing jobs up.
+                pool.terminate()
+                raise
+    summary.wall_clock_s = time.perf_counter() - wall_start
+    summary.records.sort(key=lambda record: record.get("job_id", ""))
+    return summary

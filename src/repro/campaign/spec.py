@@ -1,0 +1,414 @@
+"""Declarative campaign specifications.
+
+A *campaign* is a grid of experiments: scenarios x DPM setups x seeds x
+parameter overrides.  The grid is described by a :class:`CampaignSpec`, which
+can be built in Python or loaded from a JSON/TOML file, so new evaluation
+grids (including *new scenarios*) can be defined without touching
+:mod:`repro.experiments.scenarios`::
+
+    {
+      "name": "paper-grid",
+      "scenarios": ["A1", "B",
+                    {"kind": "single_ip", "name": "hot-low",
+                     "battery": "low", "temperature": "high",
+                     "task_count": 24}],
+      "setups": ["paper", "greedy-sleep",
+                 {"name": "fixed-timeout", "timeout_ms": 2.0}],
+      "seeds": [1, 2, 3],
+      "overrides": [{}, {"task_count": 12}]
+    }
+
+:meth:`CampaignSpec.jobs` expands the grid into :class:`JobSpec` objects.
+Every job is a *pure data* description (plain dictionaries), picklable for
+the worker pool and stable under hashing: :attr:`JobSpec.job_id` is the
+SHA-256 of the canonical JSON encoding, which is what the result store uses
+as the content address for caching and ``--resume``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.dpm.controller import DpmSetup
+from repro.errors import CampaignError
+from repro.experiments.scenarios import (
+    Scenario,
+    multi_ip_scenario,
+    single_ip_scenario,
+)
+from repro.sim.simtime import ms
+
+__all__ = [
+    "CampaignSpec",
+    "JobSpec",
+    "PAPER_SCENARIO_DEFS",
+    "build_scenario",
+    "build_setup",
+    "canonical_json",
+    "job_hash",
+    "normalize_scenario",
+    "normalize_setup",
+]
+
+
+# ----------------------------------------------------------------------
+# Canonical encoding / hashing
+# ----------------------------------------------------------------------
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def job_hash(value: Mapping[str, Any]) -> str:
+    """Content address of a job description (first 16 hex digits of SHA-256)."""
+    return hashlib.sha256(canonical_json(dict(value)).encode("utf-8")).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# Scenario descriptions
+# ----------------------------------------------------------------------
+#: The paper's six scenarios as declarative dictionaries, so a spec file can
+#: reference them by name ("A1" .. "C") and a grid seed can still re-seed them.
+PAPER_SCENARIO_DEFS: Dict[str, Dict[str, Any]] = {
+    "A1": {"kind": "single_ip", "name": "A1", "battery": "full", "temperature": "low"},
+    "A2": {"kind": "single_ip", "name": "A2", "battery": "low", "temperature": "low"},
+    "A3": {"kind": "single_ip", "name": "A3", "battery": "full", "temperature": "high"},
+    "A4": {"kind": "single_ip", "name": "A4", "battery": "low", "temperature": "high"},
+    "B": {
+        "kind": "multi_ip",
+        "name": "B",
+        "battery": "low",
+        "temperature": "low",
+        "high_activity_ips": [1, 2],
+    },
+    "C": {
+        "kind": "multi_ip",
+        "name": "C",
+        "battery": "low",
+        "temperature": "low",
+        "high_activity_ips": [3, 4],
+    },
+}
+
+_SCENARIO_FIELDS: Dict[str, Dict[str, Any]] = {
+    "single_ip": {
+        "required": {"name", "battery", "temperature"},
+        "optional": {"task_count", "workload_seed", "max_time_ms"},
+    },
+    "multi_ip": {
+        "required": {"name", "battery", "temperature", "high_activity_ips"},
+        "optional": {"task_count", "seed", "max_time_ms"},
+    },
+}
+
+
+def normalize_scenario(value: Union[str, Mapping[str, Any]]) -> Dict[str, Any]:
+    """Turn a scenario entry of a spec into a validated plain dictionary.
+
+    Accepts either one of the paper's row names (``"A1"`` .. ``"C"``) or a
+    dictionary with a ``kind`` of ``"single_ip"`` / ``"multi_ip"``.
+    """
+    if isinstance(value, str):
+        try:
+            return dict(PAPER_SCENARIO_DEFS[value.upper()])
+        except KeyError:
+            raise CampaignError(
+                f"unknown paper scenario {value!r} (expected one of "
+                f"{', '.join(sorted(PAPER_SCENARIO_DEFS))})"
+            ) from None
+    if not isinstance(value, Mapping):
+        raise CampaignError(f"scenario entries must be names or mappings, got {value!r}")
+    scenario = dict(value)
+    kind = scenario.get("kind")
+    if kind == "paper":
+        merged = normalize_scenario(str(scenario.get("name", "")))
+        for key, item in scenario.items():
+            if key not in ("kind",):
+                merged[key] = item
+        merged["kind"] = merged.get("kind", "single_ip")
+        scenario, kind = merged, merged["kind"]
+    if kind not in _SCENARIO_FIELDS:
+        raise CampaignError(
+            f"unknown scenario kind {kind!r} (expected 'single_ip', 'multi_ip' or 'paper')"
+        )
+    fields = _SCENARIO_FIELDS[kind]
+    missing = fields["required"] - set(scenario)
+    if missing:
+        raise CampaignError(
+            f"scenario {scenario.get('name', '?')!r} is missing fields: {sorted(missing)}"
+        )
+    unknown = set(scenario) - fields["required"] - fields["optional"] - {"kind"}
+    if unknown:
+        raise CampaignError(
+            f"scenario {scenario['name']!r} has unknown fields: {sorted(unknown)}"
+        )
+    if "high_activity_ips" in scenario:
+        scenario["high_activity_ips"] = sorted(int(i) for i in scenario["high_activity_ips"])
+    return scenario
+
+
+def build_scenario(scenario: Mapping[str, Any], seed: Optional[int] = None) -> Scenario:
+    """Instantiate a :class:`Scenario` from its declarative description.
+
+    ``seed``, when given, replaces the workload seed of the description so a
+    campaign can sweep seeds without editing the scenario entry.
+    """
+    from repro.analysis.report import PAPER_TABLE2
+
+    description = normalize_scenario(scenario)
+    kind = description["kind"]
+    paper_row = PAPER_TABLE2.get(description["name"])
+    if kind == "single_ip":
+        built = single_ip_scenario(
+            name=description["name"],
+            battery=description["battery"],
+            temperature=description["temperature"],
+            workload_seed=seed if seed is not None else description.get("workload_seed", 11),
+            task_count=description.get("task_count", 40),
+            paper_row=paper_row,
+        )
+    else:
+        built = multi_ip_scenario(
+            name=description["name"],
+            battery=description["battery"],
+            temperature=description["temperature"],
+            high_activity_ips=tuple(description["high_activity_ips"]),
+            seed=seed if seed is not None else description.get("seed", 21),
+            task_count=description.get("task_count", 24),
+            paper_row=paper_row,
+        )
+    if "max_time_ms" in description:
+        built.max_time = ms(float(description["max_time_ms"]))
+    return built
+
+
+# ----------------------------------------------------------------------
+# Setup descriptions
+# ----------------------------------------------------------------------
+def normalize_setup(value: Union[str, Mapping[str, Any]]) -> Dict[str, Any]:
+    """Turn a setup entry (name or mapping) into a validated dictionary."""
+    if isinstance(value, str):
+        setup: Dict[str, Any] = {"name": value}
+    elif isinstance(value, Mapping):
+        setup = dict(value)
+    else:
+        raise CampaignError(f"setup entries must be names or mappings, got {value!r}")
+    name = setup.get("name")
+    if not isinstance(name, str) or not name:
+        raise CampaignError(f"setup entry {value!r} has no name")
+    build_setup(setup)  # validate eagerly so spec errors surface at load time
+    return setup
+
+
+def build_setup(setup: Mapping[str, Any]) -> DpmSetup:
+    """Instantiate a :class:`DpmSetup` from its declarative description."""
+    name = setup["name"]
+    params = {key: value for key, value in setup.items() if key != "name"}
+    if name == "paper":
+        result = DpmSetup.paper(allow_off=bool(params.pop("allow_off", True)))
+    elif name == "always-on":
+        result = DpmSetup.always_on()
+    elif name == "greedy-sleep":
+        result = DpmSetup.greedy_sleep(allow_off=bool(params.pop("allow_off", True)))
+    elif name == "oracle":
+        result = DpmSetup.oracle()
+    elif name == "fixed-timeout":
+        result = DpmSetup.fixed_timeout(ms(float(params.pop("timeout_ms", 2.0))))
+    elif name.startswith("paper+"):
+        try:
+            result = DpmSetup.with_predictor(name[len("paper+"):])
+        except ValueError as error:
+            raise CampaignError(str(error)) from None
+    else:
+        raise CampaignError(
+            f"unknown setup {name!r} (expected paper, always-on, greedy-sleep, "
+            "oracle, fixed-timeout or paper+<predictor>)"
+        )
+    if params:
+        raise CampaignError(f"setup {name!r} has unknown parameters: {sorted(params)}")
+    return result
+
+
+# ----------------------------------------------------------------------
+# Jobs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JobSpec:
+    """One cell of the campaign grid, as pure data.
+
+    ``scenario`` already has any grid override merged in, so the job is fully
+    self-describing: hashing :meth:`to_dict` uniquely identifies the work.
+    """
+
+    scenario: Mapping[str, Any]
+    setup: Mapping[str, Any]
+    baseline: Mapping[str, Any]
+    seed: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data view used for hashing, storage and the worker pool."""
+        return {
+            "scenario": dict(self.scenario),
+            "setup": dict(self.setup),
+            "baseline": dict(self.baseline),
+            "seed": self.seed,
+        }
+
+    @staticmethod
+    def from_dict(value: Mapping[str, Any]) -> "JobSpec":
+        """Rebuild a job from :meth:`to_dict` output."""
+        return JobSpec(
+            scenario=dict(value["scenario"]),
+            setup=dict(value["setup"]),
+            baseline=dict(value["baseline"]),
+            seed=value.get("seed"),
+        )
+
+    @property
+    def job_id(self) -> str:
+        """Content address of this job (stable across processes and runs)."""
+        return job_hash(self.to_dict())
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identifier (not necessarily unique)."""
+        seed = "-" if self.seed is None else str(self.seed)
+        return f"{self.scenario['name']}/{self.setup['name']}/seed={seed}"
+
+
+# ----------------------------------------------------------------------
+# The campaign specification
+# ----------------------------------------------------------------------
+@dataclass
+class CampaignSpec:
+    """Declarative description of a grid of experiments."""
+
+    name: str
+    scenarios: List[Dict[str, Any]] = field(default_factory=list)
+    setups: List[Dict[str, Any]] = field(default_factory=lambda: [{"name": "paper"}])
+    seeds: List[Optional[int]] = field(default_factory=lambda: [None])
+    overrides: List[Dict[str, Any]] = field(default_factory=lambda: [{}])
+    baseline: Dict[str, Any] = field(default_factory=lambda: {"name": "always-on"})
+    description: str = ""
+    job_timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CampaignError("a campaign needs a name")
+        if not self.scenarios:
+            raise CampaignError(f"campaign {self.name!r} defines no scenarios")
+        if not self.setups:
+            raise CampaignError(f"campaign {self.name!r} defines no setups")
+        self.scenarios = [normalize_scenario(entry) for entry in self.scenarios]
+        self.setups = [normalize_setup(entry) for entry in self.setups]
+        self.baseline = normalize_setup(self.baseline)
+        self.seeds = list(self.seeds) or [None]
+        self.overrides = [dict(entry) for entry in self.overrides] or [{}]
+        for override in self.overrides:
+            for key in override:
+                if key == "kind" or any(
+                    key in fields["required"] | fields["optional"]
+                    for fields in _SCENARIO_FIELDS.values()
+                ):
+                    continue
+                raise CampaignError(f"override key {key!r} is not a scenario field")
+        if self.job_timeout_s is not None and self.job_timeout_s <= 0:
+            raise CampaignError("job_timeout_s must be positive")
+
+    # -- grid expansion -------------------------------------------------
+    def jobs(self) -> List[JobSpec]:
+        """Expand the grid into jobs (deterministic order, duplicates dropped)."""
+        jobs: List[JobSpec] = []
+        seen: set = set()
+        for scenario in self.scenarios:
+            for override in self.overrides:
+                merged = dict(scenario)
+                merged.update(
+                    {key: value for key, value in override.items() if key != "kind"}
+                )
+                merged = normalize_scenario(merged)
+                for setup in self.setups:
+                    for seed in self.seeds:
+                        job = JobSpec(
+                            scenario=merged,
+                            setup=setup,
+                            baseline=self.baseline,
+                            seed=seed,
+                        )
+                        if job.job_id not in seen:
+                            seen.add(job.job_id)
+                            jobs.append(job)
+        return jobs
+
+    # -- (de)serialisation ---------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data view, suitable for JSON storage in the campaign directory."""
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "scenarios": [dict(entry) for entry in self.scenarios],
+            "setups": [dict(entry) for entry in self.setups],
+            "seeds": list(self.seeds),
+            "overrides": [dict(entry) for entry in self.overrides],
+            "baseline": dict(self.baseline),
+        }
+        if self.description:
+            data["description"] = self.description
+        if self.job_timeout_s is not None:
+            data["job_timeout_s"] = self.job_timeout_s
+        return data
+
+    @staticmethod
+    def from_dict(value: Mapping[str, Any]) -> "CampaignSpec":
+        """Build a spec from a plain dictionary (parsed JSON/TOML)."""
+        if not isinstance(value, Mapping):
+            raise CampaignError(f"a campaign spec must be a mapping, got {value!r}")
+        known = {
+            "name", "scenarios", "setups", "seeds", "overrides",
+            "baseline", "description", "job_timeout_s",
+        }
+        unknown = set(value) - known
+        if unknown:
+            raise CampaignError(f"unknown campaign fields: {sorted(unknown)}")
+        if "name" not in value:
+            raise CampaignError("a campaign spec needs a 'name'")
+        kwargs: Dict[str, Any] = {"name": value["name"]}
+        kwargs["scenarios"] = list(value.get("scenarios", []))
+        if "setups" in value:
+            kwargs["setups"] = list(value["setups"])
+        if "seeds" in value:
+            kwargs["seeds"] = [None if seed is None else int(seed) for seed in value["seeds"]]
+        if "overrides" in value:
+            kwargs["overrides"] = list(value["overrides"])
+        if "baseline" in value:
+            kwargs["baseline"] = value["baseline"]
+        kwargs["description"] = str(value.get("description", ""))
+        if value.get("job_timeout_s") is not None:
+            kwargs["job_timeout_s"] = float(value["job_timeout_s"])
+        return CampaignSpec(**kwargs)
+
+    @staticmethod
+    def from_file(path: Union[str, os.PathLike]) -> "CampaignSpec":
+        """Load a spec from a ``.json`` or ``.toml`` file."""
+        text_path = str(path)
+        if text_path.endswith(".toml"):
+            try:
+                import tomllib
+            except ImportError:  # pragma: no cover - Python < 3.11
+                raise CampaignError(
+                    "TOML campaign specs need Python >= 3.11 (tomllib); "
+                    "use a JSON spec instead"
+                ) from None
+            with open(text_path, "rb") as handle:
+                data = tomllib.load(handle)
+        elif text_path.endswith(".json"):
+            with open(text_path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        else:
+            raise CampaignError(
+                f"unsupported campaign spec file {text_path!r} (expected .json or .toml)"
+            )
+        return CampaignSpec.from_dict(data)

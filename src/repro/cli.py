@@ -17,6 +17,9 @@ Subcommands
     Measure the simulation speed (the paper's Kcycle/s figure).
 ``breakeven``
     Print the break-even times of the default IP characterisation.
+``campaign``
+    Run, inspect or report a parallel experiment campaign described by a
+    JSON/TOML spec file (see :mod:`repro.campaign`).
 """
 
 from __future__ import annotations
@@ -96,6 +99,46 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("scenarios", nargs="*", help="subset of rows; default: all")
     report.add_argument("-o", "--output", default=None, help="output file (default: stdout)")
     report.add_argument("--with-speed", action="store_true", help="include the Kcycle/s figure")
+
+    campaign = subparsers.add_parser(
+        "campaign", help="run/inspect/report a parallel experiment campaign"
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command")
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="execute a campaign grid described by a JSON/TOML spec file"
+    )
+    campaign_run.add_argument("spec", help="campaign spec file (.json or .toml)")
+    campaign_run.add_argument(
+        "--dir", dest="directory", default=None,
+        help="campaign directory (default: campaigns/<name>)",
+    )
+    campaign_run.add_argument(
+        "--workers", type=int, default=1, help="worker processes (default: 1)"
+    )
+    campaign_run.add_argument(
+        "--resume", action="store_true",
+        help="skip jobs that already have a stored result",
+    )
+    campaign_run.add_argument(
+        "--timeout", type=float, default=None, help="per-job timeout in seconds"
+    )
+    campaign_run.add_argument(
+        "--quiet", action="store_true", help="do not print per-job progress lines"
+    )
+
+    campaign_status_p = campaign_sub.add_parser(
+        "status", help="show done/failed/missing jobs of a campaign directory"
+    )
+    campaign_status_p.add_argument("directory", help="campaign directory")
+
+    campaign_report = campaign_sub.add_parser(
+        "report", help="render the aggregate report of a campaign directory"
+    )
+    campaign_report.add_argument("directory", help="campaign directory")
+    campaign_report.add_argument(
+        "-o", "--output", default=None, help="output file (default: stdout)"
+    )
 
     return parser
 
@@ -231,6 +274,89 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_campaign(args) -> int:
+    from repro.errors import ReproError
+
+    try:
+        return _cmd_campaign_inner(args)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print(
+            "\ninterrupted — finished jobs are stored; "
+            "re-run with --resume to complete the campaign",
+            file=sys.stderr,
+        )
+        return 130
+
+
+def _cmd_campaign_inner(args) -> int:
+    import os
+
+    from repro.campaign import (
+        CampaignSpec,
+        ResultStore,
+        campaign_status,
+        render_campaign_report,
+        render_status,
+        run_campaign,
+    )
+
+    if args.campaign_command is None:
+        print("error: campaign needs a subcommand (run, status or report)", file=sys.stderr)
+        return 2
+    if args.campaign_command == "run":
+        spec = CampaignSpec.from_file(args.spec)
+        directory = args.directory or os.path.join("campaigns", spec.name)
+        progress = None
+        if not args.quiet:
+            def progress(record):
+                print(f"[{record['status']:>7}] {record['label']} "
+                      f"({record['wall_clock_s']:.2f} s)")
+        summary = run_campaign(
+            spec,
+            directory,
+            workers=args.workers,
+            resume=args.resume,
+            job_timeout_s=args.timeout,
+            progress=progress,
+        )
+        print(
+            f"campaign {summary.campaign!r}: {summary.total_jobs} jobs, "
+            f"{summary.executed} executed ({summary.ok} ok, {summary.errors} errors, "
+            f"{summary.timeouts} timeouts), {summary.skipped} skipped, "
+            f"{summary.wall_clock_s:.2f} s"
+        )
+        print(f"results stored in {directory}")
+        failed = summary.errors + summary.timeouts
+        return 1 if failed else 0
+    store = ResultStore(args.directory)
+    if args.campaign_command == "status":
+        status = campaign_status(store)
+        print(render_status(status))
+        return 0 if status["counts"]["missing"] == 0 else 1
+    # report
+    spec = CampaignSpec.from_dict(store.read_manifest())
+    # Only the current grid: a re-used directory may hold records of grid
+    # cells that a later spec edit removed, which must not skew the means.
+    current_ids = {job.job_id for job in spec.jobs()}
+    stored = store.records()
+    records = [record for record in stored if record.get("job_id") in current_ids]
+    stale = len(stored) - len(records)
+    if stale:
+        print(f"note: ignoring {stale} stored record(s) no longer in the campaign grid",
+              file=sys.stderr)
+    text = render_campaign_report(records, title=f"Campaign {spec.name!r}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
 _COMMANDS = {
     "table2": _cmd_table2,
     "scenario": _cmd_scenario,
@@ -239,6 +365,7 @@ _COMMANDS = {
     "speed": _cmd_speed,
     "breakeven": _cmd_breakeven,
     "report": _cmd_report,
+    "campaign": _cmd_campaign,
 }
 
 

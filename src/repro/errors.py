@@ -65,3 +65,7 @@ class RuleError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment/scenario definition cannot be run."""
+
+
+class CampaignError(ReproError):
+    """A campaign specification, store or execution request is invalid."""

@@ -23,8 +23,9 @@ models use plain processes, for instance).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Deque, List, Optional, Set, Tuple
 
 from repro.errors import SchedulingError, SimulationError
 from repro.sim.event import Event, TimedQueue
@@ -69,9 +70,13 @@ class Kernel:
 
     def __init__(self) -> None:
         self._now: SimTime = ZERO_TIME
-        self._runnable: List[Tuple[Process, Optional[Event]]] = []
+        self._runnable: Deque[Tuple[Process, Optional[Event]]] = deque()
+        # The delta/update queues preserve insertion order (lists) but use
+        # side sets for O(1) dedup — membership scans dominated the hot path.
         self._delta_events: List[Event] = []
+        self._delta_scheduled: Set[Event] = set()
         self._update_queue: List = []
+        self._update_scheduled: Set = set()
         self._timed = TimedQueue()
         self._processes: List[Process] = []
         self._initialized = False
@@ -140,7 +145,8 @@ class Kernel:
 
     def schedule_delta(self, event: Event) -> None:
         """Delta notification: fire the event in the next delta cycle."""
-        if event not in self._delta_events:
+        if event not in self._delta_scheduled:
+            self._delta_scheduled.add(event)
             self._delta_events.append(event)
 
     def schedule_timed(self, event: Event, delay: SimTime) -> dict:
@@ -159,7 +165,8 @@ class Kernel:
 
     def request_update(self, channel) -> None:
         """Queue a primitive channel for the next update phase."""
-        if channel not in self._update_queue:
+        if channel not in self._update_scheduled:
+            self._update_scheduled.add(channel)
             self._update_queue.append(channel)
 
     def add_end_of_delta_callback(self, callback: Callable[[], None]) -> None:
@@ -249,7 +256,7 @@ class Kernel:
         while (self._runnable or self._delta_events or self._update_queue) and not self._stop_requested:
             # Evaluate phase.
             while self._runnable:
-                process, trigger = self._runnable.pop(0)
+                process, trigger = self._runnable.popleft()
                 if process.terminated:
                     continue
                 process.resume(trigger)
@@ -257,12 +264,14 @@ class Kernel:
             # Update phase.
             if self._update_queue:
                 updates, self._update_queue = self._update_queue, []
+                self._update_scheduled.clear()
                 for channel in updates:
                     channel.update()
                     self.stats.signal_updates += 1
             # Delta notification phase.
             if self._delta_events:
                 delta_events, self._delta_events = self._delta_events, []
+                self._delta_scheduled.clear()
                 for event in delta_events:
                     for process in event.fire():
                         self._runnable.append((process, event))

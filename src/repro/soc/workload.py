@@ -127,13 +127,20 @@ class Workload:
 
     # -- (de)serialisation -------------------------------------------------------
     def as_dicts(self) -> List[dict]:
-        """Serializable representation of every item."""
+        """Serializable representation of every item.
+
+        Idle gaps are stored as an exact femtosecond integer
+        (``idle_after_fs``) so a round trip is lossless — campaign job hashes
+        depend on it.  A derived ``idle_after_us`` float is included for
+        human readability and for readers of the legacy format.
+        """
         return [
             {
                 "task": item.task.name,
                 "cycles": item.task.cycles,
                 "priority": str(item.task.priority),
                 "instruction_class": str(item.task.instruction_class),
+                "idle_after_fs": item.idle_after.femtoseconds,
                 "idle_after_us": item.idle_after.seconds * 1e6,
             }
             for item in self.items
@@ -141,7 +148,11 @@ class Workload:
 
     @staticmethod
     def from_dicts(entries: Iterable[dict], name: str = "workload") -> "Workload":
-        """Rebuild a workload from :meth:`as_dicts` output."""
+        """Rebuild a workload from :meth:`as_dicts` output.
+
+        Prefers the lossless ``idle_after_fs`` key; entries written by older
+        versions carry only the float ``idle_after_us`` and are still read.
+        """
         items = []
         for entry in entries:
             task = Task(
@@ -150,7 +161,11 @@ class Workload:
                 priority=TaskPriority(entry.get("priority", "medium")),
                 instruction_class=InstructionClass(entry.get("instruction_class", "alu")),
             )
-            items.append(WorkloadItem(task, us(float(entry.get("idle_after_us", 0.0)))))
+            if "idle_after_fs" in entry:
+                idle = SimTime(int(entry["idle_after_fs"]))
+            else:
+                idle = us(float(entry.get("idle_after_us", 0.0)))
+            items.append(WorkloadItem(task, idle))
         return Workload(items=items, name=name)
 
 

@@ -1,0 +1,206 @@
+"""Tests for campaign execution: pool fan-out, failure capture, resume."""
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    ResultStore,
+    aggregate_records,
+    campaign_status,
+    execute_job,
+    record_metrics,
+    render_campaign_report,
+    run_campaign,
+)
+from repro.errors import CampaignError
+
+
+def small_spec(**extra):
+    data = {
+        "name": "test-grid",
+        "scenarios": [
+            {"kind": "single_ip", "name": "s1", "battery": "low",
+             "temperature": "low", "task_count": 6},
+        ],
+        "setups": ["paper", "always-on"],
+        "seeds": [1, 2],
+    }
+    data.update(extra)
+    return CampaignSpec.from_dict(data)
+
+
+class TestExecuteJob:
+    def test_ok_record(self):
+        job = small_spec().jobs()[0]
+        record = execute_job(job.to_dict())
+        assert record["status"] == "ok"
+        assert record["job_id"] == job.job_id
+        assert record["metrics"]["tasks_executed"] == 6
+        assert record["per_ip"]
+        assert record["wall_clock_s"] > 0.0
+
+    def test_failure_is_captured_not_raised(self):
+        # 1 ms of simulated time is not enough to drain the workload, which
+        # the runner reports as an ExperimentError.
+        spec = small_spec(overrides=[{"max_time_ms": 1}])
+        record = execute_job(spec.jobs()[0].to_dict())
+        assert record["status"] == "error"
+        assert record["error"]["type"] == "ExperimentError"
+        assert "traceback" in record["error"]
+
+    def test_unexpected_exception_is_captured_too(self, monkeypatch):
+        # The 'never raises' contract must hold for arbitrary bugs, not just
+        # ReproError — one bad grid cell must not kill the worker pool.
+        import repro.experiments.runner as runner
+
+        def boom(*_args, **_kwargs):
+            raise AttributeError("simulated internal bug")
+
+        monkeypatch.setattr(runner, "run_comparison", boom)
+        record = execute_job(small_spec().jobs()[0].to_dict())
+        assert record["status"] == "error"
+        assert record["error"]["type"] == "AttributeError"
+
+    def test_determinism_across_invocations(self):
+        job = small_spec().jobs()[0].to_dict()
+        first = execute_job(job)
+        second = execute_job(job)
+        assert first["metrics"]["energy_saving_pct"] == \
+            second["metrics"]["energy_saving_pct"]
+        assert first["metrics"]["dpm_energy_j"] == second["metrics"]["dpm_energy_j"]
+
+
+class TestRunCampaign:
+    def test_serial_run_persists_every_job(self, tmp_path):
+        spec = small_spec()
+        summary = run_campaign(spec, tmp_path / "camp", workers=1)
+        assert summary.total_jobs == 4
+        assert summary.executed == 4
+        assert summary.ok == 4
+        store = ResultStore(tmp_path / "camp")
+        assert store.job_ids(status="ok") == {job.job_id for job in spec.jobs()}
+        assert store.read_manifest()["name"] == "test-grid"
+
+    def test_parallel_matches_serial(self, tmp_path):
+        spec = small_spec()
+        serial = run_campaign(spec, tmp_path / "serial", workers=1)
+        parallel = run_campaign(spec, tmp_path / "parallel", workers=2)
+        assert parallel.executed == serial.executed == 4
+        key = lambda r: r["job_id"]
+        for left, right in zip(sorted(serial.records, key=key),
+                               sorted(parallel.records, key=key)):
+            assert left["job_id"] == right["job_id"]
+            assert left["metrics"]["energy_saving_pct"] == \
+                right["metrics"]["energy_saving_pct"]
+
+    def test_resume_executes_nothing_and_reproduces_metrics(self, tmp_path):
+        spec = small_spec()
+        first = run_campaign(spec, tmp_path / "camp", workers=1)
+        again = run_campaign(spec, tmp_path / "camp", workers=2, resume=True)
+        assert again.executed == 0
+        assert again.skipped == 4
+        assert aggregate_rows(first) == aggregate_rows(again)
+
+    def test_resume_after_interruption_runs_only_missing_jobs(self, tmp_path):
+        spec = small_spec()
+        run_campaign(spec, tmp_path / "camp", workers=1)
+        store = ResultStore(tmp_path / "camp")
+        # Simulate an interrupted campaign: half the records never landed.
+        victims = sorted(store.job_ids())[:2]
+        for job_id in victims:
+            (store.records_dir / f"{job_id}.json").unlink()
+        status = campaign_status(store)
+        assert status["counts"]["missing"] == 2
+        resumed = run_campaign(spec, tmp_path / "camp", workers=1, resume=True)
+        assert resumed.executed == 2
+        assert resumed.skipped == 2
+        assert {r["job_id"] for r in resumed.records if r["job_id"] in victims} == set(victims)
+        assert campaign_status(store)["counts"]["missing"] == 0
+
+    def test_without_resume_everything_reruns(self, tmp_path):
+        spec = small_spec()
+        run_campaign(spec, tmp_path / "camp", workers=1)
+        second = run_campaign(spec, tmp_path / "camp", workers=1)
+        assert second.executed == 4
+        assert second.skipped == 0
+
+    def test_failed_jobs_rerun_on_resume(self, tmp_path):
+        broken = small_spec(overrides=[{"max_time_ms": 1}])
+        summary = run_campaign(broken, tmp_path / "camp", workers=1)
+        # always-on jobs fail too (baseline never finishes either way).
+        assert summary.errors == summary.executed == 4
+        fixed = small_spec()  # different grid (hashes differ) -> all pending
+        resumed = run_campaign(fixed, tmp_path / "camp", workers=1, resume=True)
+        assert resumed.executed == 4
+        assert resumed.ok == 4
+
+    def test_job_timeout_is_captured(self, tmp_path):
+        spec = small_spec(
+            scenarios=["B"],  # the four-IP GEM scenario takes tens of ms
+            setups=["paper"],
+            seeds=[1],
+        )
+        summary = run_campaign(spec, tmp_path / "camp", workers=1,
+                               job_timeout_s=0.005)
+        assert summary.timeouts == 1
+        record = ResultStore(tmp_path / "camp").records()[0]
+        assert record["status"] == "timeout"
+        assert "timeout" in record["error"]["message"]
+
+    def test_invalid_worker_count_rejected(self, tmp_path):
+        with pytest.raises(CampaignError):
+            run_campaign(small_spec(), tmp_path, workers=0)
+
+    def test_progress_callback_sees_every_executed_job(self, tmp_path):
+        seen = []
+        run_campaign(small_spec(), tmp_path / "camp", workers=1,
+                     progress=seen.append)
+        assert len(seen) == 4
+        assert all(record["status"] == "ok" for record in seen)
+
+
+def aggregate_rows(summary):
+    return [
+        (row.scenario, round(row.energy_saving_pct, 9),
+         round(row.average_delay_overhead_pct, 9))
+        for row in aggregate_records(summary.records)
+    ]
+
+
+class TestAggregation:
+    def test_record_metrics_round_trip(self, tmp_path):
+        summary = run_campaign(small_spec(), tmp_path / "camp", workers=1)
+        record = summary.records[0]
+        metrics = record_metrics(record)
+        assert metrics.energy_saving_pct == record["metrics"]["energy_saving_pct"]
+        assert metrics.per_ip  # per-IP breakdown survives the store
+
+    def test_record_metrics_rejects_failures(self):
+        with pytest.raises(CampaignError):
+            record_metrics({"job_id": "x", "status": "error"})
+
+    def test_aggregate_means_over_seeds(self, tmp_path):
+        summary = run_campaign(small_spec(), tmp_path / "camp", workers=1)
+        rows = aggregate_records(summary.records)
+        # one row per (scenario, setup) pair
+        assert [row.scenario for row in rows] == ["s1/always-on", "s1/paper"]
+        for row in rows:
+            assert row.extra["jobs"] == 2.0
+        by_setup = {r["setup"]: [] for r in summary.records}
+        for record in summary.records:
+            by_setup[record["setup"]].append(record["metrics"]["energy_saving_pct"])
+        expected = sum(by_setup["paper"]) / len(by_setup["paper"])
+        paper_row = [row for row in rows if row.scenario.endswith("/paper")][0]
+        assert paper_row.energy_saving_pct == pytest.approx(expected)
+
+    def test_report_renders_jobs_failures_and_aggregate(self, tmp_path):
+        spec = small_spec()
+        summary = run_campaign(spec, tmp_path / "camp", workers=1)
+        failing = {"job_id": "dead", "status": "error", "label": "s1/broken",
+                   "error": {"message": "boom"}}
+        text = render_campaign_report(summary.records + [failing])
+        assert "per job" in text
+        assert "aggregate" in text
+        assert "s1/paper/seed=1" in text
+        assert "Failures" in text
+        assert "boom" in text

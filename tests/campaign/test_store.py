@@ -1,0 +1,85 @@
+"""Tests for the content-addressed result store."""
+
+import json
+
+import pytest
+
+from repro.campaign import ResultStore
+from repro.errors import CampaignError
+
+
+def record(job_id, status="ok", **extra):
+    return {"job_id": job_id, "status": status, **extra}
+
+
+class TestResultStore:
+    def test_put_get_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "camp")
+        store.put(record("abc123", metrics={"energy_saving_pct": 40.0}))
+        loaded = store.get("abc123")
+        assert loaded["metrics"]["energy_saving_pct"] == 40.0
+        assert "abc123" in store
+        assert "missing" not in store
+        assert store.get("missing") is None
+
+    def test_put_overwrites(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(record("j1", status="error"))
+        store.put(record("j1", status="ok"))
+        assert store.get("j1")["status"] == "ok"
+        assert len(store) == 1
+
+    def test_record_without_job_id_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(CampaignError):
+            store.put({"status": "ok"})
+
+    def test_job_ids_filter_by_status(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(record("a", status="ok"))
+        store.put(record("b", status="error"))
+        store.put(record("c", status="ok"))
+        assert store.job_ids() == {"a", "b", "c"}
+        assert store.job_ids(status="ok") == {"a", "c"}
+        assert store.job_ids(status="error") == {"b"}
+
+    def test_records_sorted_and_corrupt_files_skipped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(record("b"))
+        store.put(record("a"))
+        (store.records_dir / "broken.json").write_text("{not json")
+        records = store.records()
+        assert [entry["job_id"] for entry in records] == ["a", "b"]
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(record("x"))
+        leftovers = [p for p in store.records_dir.iterdir() if "tmp" in p.name]
+        assert leftovers == []
+
+    def test_manifest_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(CampaignError):
+            store.read_manifest()
+        store.write_manifest({"name": "camp", "scenarios": ["A1"]})
+        assert store.read_manifest()["name"] == "camp"
+        # valid JSON on disk
+        json.loads(store.manifest_path.read_text())
+
+    def test_corrupt_manifest_is_a_campaign_error(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.write_manifest({"name": "camp"})
+        store.manifest_path.write_text("{truncated")
+        with pytest.raises(CampaignError, match="corrupt"):
+            store.read_manifest()
+
+    def test_read_operations_have_no_filesystem_side_effects(self, tmp_path):
+        root = tmp_path / "typo" / "path"
+        store = ResultStore(root)
+        assert store.records() == []
+        assert store.job_ids() == set()
+        assert len(store) == 0
+        assert "x" not in store
+        with pytest.raises(CampaignError):
+            store.read_manifest()
+        assert not root.exists()

@@ -129,6 +129,24 @@ class TestWorkloadContainer:
         assert rebuilt.total_cycles == workload.total_cycles
         assert [i.task.priority for i in rebuilt] == [i.task.priority for i in workload]
 
+    def test_serialisation_is_lossless_to_the_femtosecond(self):
+        # random_workload draws idle gaps at femtosecond granularity; a float
+        # microsecond round trip used to destroy the low-order digits.
+        workload = random_workload(task_count=16, seed=5)
+        rebuilt = Workload.from_dicts(workload.as_dicts())
+        assert [i.idle_after for i in rebuilt] == [i.idle_after for i in workload]
+        # Stable representation: two round trips serialize identically (this
+        # is what keeps campaign job hashes reproducible).
+        assert rebuilt.as_dicts() == workload.as_dicts()
+
+    def test_serialisation_accepts_legacy_microsecond_key(self):
+        entries = [
+            {"task": "t0", "cycles": 1000, "priority": "medium",
+             "instruction_class": "alu", "idle_after_us": 2.5}
+        ]
+        workload = Workload.from_dicts(entries)
+        assert workload[0].idle_after == us(2.5)
+
     def test_invalid_items_rejected(self):
         with pytest.raises(WorkloadError):
             Workload(items=["not an item"])

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -19,8 +21,69 @@ class TestParser:
     def test_parser_knows_all_subcommands(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("table2", "scenario", "rules", "sweep", "speed", "breakeven"):
+        for command in ("table2", "scenario", "rules", "sweep", "speed", "breakeven",
+                        "report", "campaign"):
             assert command in text
+
+
+class TestParserRoundTrips:
+    """Every subcommand parses back the arguments it documents."""
+
+    def parse(self, argv):
+        return build_parser().parse_args(argv)
+
+    def test_table2(self):
+        args = self.parse(["table2", "A1", "B", "--setup", "greedy-sleep"])
+        assert args.command == "table2"
+        assert args.scenarios == ["A1", "B"]
+        assert args.setup == "greedy-sleep"
+
+    def test_scenario(self):
+        args = self.parse(["scenario", "A3", "--setup", "oracle"])
+        assert args.command == "scenario"
+        assert args.name == "A3"
+        assert args.setup == "oracle"
+
+    def test_rules(self):
+        args = self.parse(["rules", "--priority", "low", "--battery", "full",
+                           "--temperature", "high"])
+        assert (args.priority, args.battery, args.temperature) == ("low", "full", "high")
+
+    def test_sweep(self):
+        assert self.parse(["sweep", "--tasks", "12"]).tasks == 12
+
+    def test_speed_and_breakeven(self):
+        assert self.parse(["speed"]).command == "speed"
+        assert self.parse(["breakeven"]).command == "breakeven"
+
+    def test_report(self):
+        args = self.parse(["report", "A1", "-o", "out.md", "--with-speed"])
+        assert args.scenarios == ["A1"]
+        assert args.output == "out.md"
+        assert args.with_speed is True
+
+    def test_campaign_run(self):
+        args = self.parse(["campaign", "run", "grid.json", "--dir", "d",
+                           "--workers", "4", "--resume", "--timeout", "2.5"])
+        assert args.command == "campaign"
+        assert args.campaign_command == "run"
+        assert args.spec == "grid.json"
+        assert args.directory == "d"
+        assert args.workers == 4
+        assert args.resume is True
+        assert args.timeout == 2.5
+
+    def test_campaign_status_and_report(self):
+        status = self.parse(["campaign", "status", "some/dir"])
+        assert status.campaign_command == "status"
+        assert status.directory == "some/dir"
+        report = self.parse(["campaign", "report", "some/dir", "-o", "out.txt"])
+        assert report.campaign_command == "report"
+        assert report.output == "out.txt"
+
+    def test_invalid_setup_choice_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            self.parse(["table2", "--setup", "warp-drive"])
 
 
 class TestRulesCommand:
@@ -64,3 +127,100 @@ class TestScenarioCommands:
         out = capsys.readouterr().out
         assert "A1" in out
         assert "Saving % (paper)" in out
+
+
+class TestCampaignCommand:
+    @pytest.fixture
+    def spec_file(self, tmp_path):
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps({
+            "name": "cli-grid",
+            "scenarios": [
+                {"kind": "single_ip", "name": "s1", "battery": "low",
+                 "temperature": "low", "task_count": 5},
+            ],
+            "setups": ["paper", "always-on"],
+            "seeds": [1, 2],
+        }))
+        return path
+
+    def test_missing_subcommand_is_an_error(self, capsys):
+        assert main(["campaign"]) == 2
+        assert "subcommand" in capsys.readouterr().err
+
+    def test_invalid_spec_is_a_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"name": "x", "scenarios": ["A1"], "setup": ["paper"]}')
+        assert main(["campaign", "run", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "setup" in err
+
+    def test_missing_spec_file_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["campaign", "run", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_status_without_manifest_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["campaign", "status", str(tmp_path / "empty")]) == 2
+        assert "manifest" in capsys.readouterr().err
+
+    def test_run_status_report_cycle(self, spec_file, tmp_path, capsys):
+        directory = str(tmp_path / "camp")
+        assert main(["campaign", "run", str(spec_file), "--dir", directory,
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "4 jobs" in out
+        assert "4 executed" in out
+
+        assert main(["campaign", "status", directory]) == 0
+        out = capsys.readouterr().out
+        assert "ok:      4" in out
+        assert "missing: 0" in out
+
+        assert main(["campaign", "report", directory]) == 0
+        out = capsys.readouterr().out
+        assert "s1/paper/seed=1" in out
+        assert "aggregate" in out
+
+    def test_resume_skips_everything(self, spec_file, tmp_path, capsys):
+        directory = str(tmp_path / "camp")
+        assert main(["campaign", "run", str(spec_file), "--dir", directory,
+                     "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "run", str(spec_file), "--dir", directory,
+                     "--resume", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "0 executed" in out
+        assert "4 skipped" in out
+
+    def test_report_ignores_records_dropped_from_the_grid(self, tmp_path, capsys):
+        def spec_with_seeds(seeds):
+            path = tmp_path / "grid.json"
+            path.write_text(json.dumps({
+                "name": "shrink",
+                "scenarios": [{"kind": "single_ip", "name": "s1", "battery": "low",
+                               "temperature": "low", "task_count": 5}],
+                "setups": ["paper"],
+                "seeds": seeds,
+            }))
+            return path
+
+        directory = str(tmp_path / "camp")
+        main(["campaign", "run", str(spec_with_seeds([1, 2])), "--dir", directory,
+              "--quiet"])
+        # Shrink the grid in place: seed 2's record is now stale.
+        main(["campaign", "run", str(spec_with_seeds([1])), "--dir", directory,
+              "--resume", "--quiet"])
+        capsys.readouterr()
+        assert main(["campaign", "report", directory]) == 0
+        captured = capsys.readouterr()
+        assert "s1/paper/seed=1" in captured.out
+        assert "seed=2" not in captured.out
+        assert "ignoring 1 stored record" in captured.err
+
+    def test_report_to_file(self, spec_file, tmp_path, capsys):
+        directory = str(tmp_path / "camp")
+        main(["campaign", "run", str(spec_file), "--dir", directory, "--quiet"])
+        output = tmp_path / "report.txt"
+        assert main(["campaign", "report", directory, "-o", str(output)]) == 0
+        assert "aggregate" in output.read_text()
