@@ -59,6 +59,10 @@ class Battery:
         self._remaining_j = self.config.capacity_j * self.config.initial_state_of_charge
         self._drawn_j = 0.0
         self._wasted_j = 0.0
+        # state_of_charge is a pure function of _remaining_j; the monitors
+        # read it several times per sample, so cache it per remaining value.
+        self._soc_cache_remaining_j: float = self._remaining_j
+        self._soc_cache: float = max(0.0, min(1.0, self._remaining_j / self.config.capacity_j))
 
     # -- state ------------------------------------------------------------
     @property
@@ -74,7 +78,10 @@ class Battery:
     @property
     def state_of_charge(self) -> float:
         """Remaining fraction of the nominal capacity, in [0, 1]."""
-        return max(0.0, min(1.0, self._remaining_j / self.config.capacity_j))
+        if self._remaining_j != self._soc_cache_remaining_j:
+            self._soc_cache_remaining_j = self._remaining_j
+            self._soc_cache = max(0.0, min(1.0, self._remaining_j / self.config.capacity_j))
+        return self._soc_cache
 
     @property
     def drawn_j(self) -> float:

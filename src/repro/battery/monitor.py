@@ -33,6 +33,7 @@ class BatteryMonitor(Module):
         ledger: EnergyLedger,
         sample_interval: Optional[SimTime] = None,
         pre_sample=None,
+        autonomous: bool = True,
         parent: Optional[Module] = None,
     ) -> None:
         super().__init__(kernel, name, parent)
@@ -47,7 +48,11 @@ class BatteryMonitor(Module):
         self._last_total_j = ledger.total_j
         self._last_sample_time = kernel.now
         self._history: List[Tuple[SimTime, float]] = []
-        self.add_thread(self._sample_loop, name="sampler")
+        # ``autonomous=False`` suppresses the sampling thread: an external
+        # orchestrator (e.g. the SoC's shared sampler) calls sample_now()
+        # on the same schedule, halving the per-sample process activations.
+        if autonomous:
+            self.add_thread(self._sample_loop, name="sampler")
 
     @property
     def level(self) -> BatteryLevel:

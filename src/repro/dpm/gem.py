@@ -88,6 +88,11 @@ class GlobalEnergyManager(Module):
         self._priorities: Dict[str, int] = {}
         self._enabled: Dict[str, bool] = {}
         self._pending_energy: Dict[str, float] = {}
+        # Static-priority structures derived from the registrations; rebuilt
+        # lazily whenever a LEM is added (priorities never change afterwards).
+        self._rank_cache_dirty = True
+        self._allowed_ranks: set = set()
+        self._higher_lems: Dict[str, list] = {}
         self._evaluations = 0
         self._fan_activations = 0
         self.add_thread(self._periodic_evaluation, name="evaluate")
@@ -115,6 +120,7 @@ class GlobalEnergyManager(Module):
         self._priorities[ip_name] = static_priority
         self._enabled[ip_name] = True
         self._pending_energy[ip_name] = 0.0
+        self._rank_cache_dirty = True
         self.evaluate()
 
     @property
@@ -198,11 +204,26 @@ class GlobalEnergyManager(Module):
             fan_on = True
         self._apply(new_enabled, fan_on)
 
-    def _enable_high_priority(self) -> Dict[str, bool]:
+    def _rebuild_rank_cache(self) -> None:
         ranked = sorted(self._priorities.items(), key=lambda item: item[1])
-        allowed_ranks = {
+        self._allowed_ranks = {
             priority for _, priority in ranked[: self.config.high_priority_count]
         }
+        self._higher_lems = {
+            name: [
+                self._lems[other]
+                for other, other_priority in self._priorities.items()
+                if other != name and other_priority < priority
+            ]
+            for name, priority in self._priorities.items()
+        }
+        self._rank_cache_dirty = False
+
+    def _enable_high_priority(self) -> Dict[str, bool]:
+        if self._rank_cache_dirty:
+            self._rebuild_rank_cache()
+        allowed_ranks = self._allowed_ranks
+        higher_lems = self._higher_lems
         enabled: Dict[str, bool] = {}
         for name, priority in self._priorities.items():
             if priority in allowed_ranks:
@@ -211,12 +232,9 @@ class GlobalEnergyManager(Module):
                 # Work-conserving reading of "enable IPs with high priority":
                 # a low-priority IP may proceed as long as no higher-priority
                 # IP is waiting for a grant (see the module docstring).
-                higher_waiting = any(
-                    self._lems[other].has_pending_request
-                    for other, other_priority in self._priorities.items()
-                    if other != name and other_priority < priority
+                enabled[name] = not any(
+                    lem.has_pending_request for lem in higher_lems[name]
                 )
-                enabled[name] = not higher_waiting
         return enabled
 
     def _apply(self, new_enabled: Dict[str, bool], fan_on: bool) -> None:

@@ -146,6 +146,10 @@ class LocalEnergyManager(Module):
         self._pending_grant: Optional[TaskGrant] = None
         self._executing = False
         self._request_event = self.event("task_request")
+        # One reusable grant event: requests are strictly sequential (the
+        # LEM rejects overlapping requests), so each grant's wait/notify pair
+        # finishes before the next one starts.
+        self._grant_event = self.event("grant")
         self._idle_event = self.event("idle_start")
         self._idle_record: Optional[_IdleRecord] = None
         self._idle_sequence = 0
@@ -172,7 +176,7 @@ class LocalEnergyManager(Module):
             self.predictor.update(actual_idle)
         self._idle_sequence += 1
         self._idle_record = None
-        grant = TaskGrant(task=task, event=self.event(f"grant.{task.name}"), request_time=now)
+        grant = TaskGrant(task=task, event=self._grant_event, request_time=now)
         self._pending_grant = grant
         if self.gem is not None:
             estimated = self._estimate_task_energy(task)
@@ -235,8 +239,9 @@ class LocalEnergyManager(Module):
         if self.gem is not None:
             other_energy = self.gem.pending_energy_excluding(self.ip_name)
         battery_level = self.battery.level_if_drawn(own_energy + other_energy)
-        own_power = own_energy / own_duration.seconds if own_duration.seconds > 0 else 0.0
-        other_power = other_energy / own_duration.seconds if own_duration.seconds > 0 else 0.0
+        own_duration_s = own_duration.seconds
+        own_power = own_energy / own_duration_s if own_duration_s > 0 else 0.0
+        other_power = other_energy / own_duration_s if own_duration_s > 0 else 0.0
         projected_c = self.thermal.estimate_after(own_power + other_power, own_duration)
         temperature_level = self.thermal.config.thresholds.classify(projected_c)
         return RuleContext(

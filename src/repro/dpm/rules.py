@@ -106,6 +106,10 @@ class RuleTable:
         self.name = name
         self._rules: List[Rule] = list(rules)
         self._hits: Dict[int, int] = {index: 0 for index in range(len(rules))}
+        # First-match index per (priority, battery, temperature) triple: rule
+        # matching only reads those three classes, so the winning rule is a
+        # pure function of them and can be looked up instead of re-scanned.
+        self._first_match_cache: Dict[tuple, int] = {}
 
     # -- evaluation -------------------------------------------------------
     def select(self, context: RuleContext) -> PowerState:
@@ -116,11 +120,19 @@ class RuleTable:
         RuleError
             If no rule matches (the table is not total for this input).
         """
-        for index, rule in enumerate(self._rules):
-            if rule.matches(context):
-                self._hits[index] += 1
-                return rule.state
-        raise RuleError(f"no rule matches context ({context.describe()}) in table {self.name!r}")
+        key = (context.priority, context.battery, context.temperature)
+        index = self._first_match_cache.get(key)
+        if index is None:
+            for index, rule in enumerate(self._rules):
+                if rule.matches(context):
+                    self._first_match_cache[key] = index
+                    break
+            else:
+                raise RuleError(
+                    f"no rule matches context ({context.describe()}) in table {self.name!r}"
+                )
+        self._hits[index] += 1
+        return self._rules[index].state
 
     def select_levels(
         self,

@@ -72,7 +72,11 @@ class BreakEvenEntry:
 
     def saving_j(self, idle_power_w: float, idle_time: SimTime) -> float:
         """Energy saved (possibly negative) by using this state for ``idle_time``."""
-        stay = idle_power_w * idle_time.seconds
+        return self._saving_given_stay(idle_power_w * idle_time.seconds, idle_time)
+
+    def _saving_given_stay(self, stay: float, idle_time: SimTime) -> float:
+        """Saving with the stay-put cost precomputed (hoisted by callers that
+        evaluate several entries for the same idle period)."""
         if idle_time.femtoseconds < self.round_trip_latency.femtoseconds:
             # The transition does not even fit in the idle window.
             return stay - (self.round_trip_energy_j + stay)
@@ -150,14 +154,20 @@ class BreakEvenAnalyzer:
         idle_power = self.characterization.idle_power_w(self.reference_on_state)
         best_state: Optional[PowerState] = None
         best_saving = 0.0
-        for entry in self.entries:
+        # The stay-put cost is the same for every entry, so hoist it and let
+        # the entries evaluate the shared saving formula from it.
+        predicted_fs = int(predicted_idle)
+        stay = idle_power * predicted_idle.seconds
+        for state in self.candidate_states:
+            entry = self._entries[state]
             if entry.state.is_off and not allow_off:
                 continue
-            if not entry.reachable:
+            break_even = entry.break_even
+            if break_even is None:
                 continue
-            if predicted_idle.femtoseconds < entry.break_even.femtoseconds:
+            if predicted_fs < break_even:
                 continue
-            saving = entry.saving_j(idle_power, predicted_idle)
+            saving = entry._saving_given_stay(stay, predicted_idle)
             if saving > best_saving:
                 best_saving = saving
                 best_state = entry.state

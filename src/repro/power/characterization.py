@@ -41,6 +41,15 @@ class InstructionClass(Enum):
         return self.value
 
 
+for _index, _member in enumerate(InstructionClass):
+    _member._idx = _index  # dense index for hot-path cache keys
+del _index, _member
+
+# The packed cache key below strides instruction classes by 8; growing the
+# enum past that would silently alias cache slots.
+assert len(InstructionClass) <= 8, "packed cache keys assume <= 8 instruction classes"
+
+
 #: Default relative switching activity of each instruction class (ALU = 1.0).
 DEFAULT_ACTIVITY: Dict[InstructionClass, float] = {
     InstructionClass.ALU: 1.00,
@@ -116,6 +125,15 @@ class PowerCharacterization:
             if not 0.0 <= self.residual_fraction[state] <= 1.0:
                 raise PowerModelError(f"residual fraction of {state} must be in [0, 1]")
         self._validate_sleep_ordering()
+        # Memoisation of the pure per-state figures.  A characterisation is a
+        # value object (never mutated after construction), so caching the
+        # computed floats returns bit-identical values while keeping the
+        # simulation hot path free of repeated table lookups.  Keys are the
+        # dense per-member ``_idx`` indices (integer hashing is C-speed,
+        # enum hashing is not).
+        self._idle_power_cache: list = [None] * len(PowerState)
+        self._energy_per_cycle_cache: Dict[int, float] = {}
+        self._execution_time_cache: Dict[tuple, SimTime] = {}
 
     def _validate_sleep_ordering(self) -> None:
         ordered = [self.residual_fraction[state] for state in SLEEP_STATES]
@@ -141,11 +159,17 @@ class PowerCharacterization:
         self, state: PowerState, instruction_class: InstructionClass = InstructionClass.ALU
     ) -> float:
         """Average energy of one clock cycle of ``instruction_class`` in ``state``."""
+        key = state._idx * 8 + instruction_class._idx
+        cached = self._energy_per_cycle_cache.get(key)
+        if cached is not None:
+            return cached
         point = self.operating_points.point(state)
         activity = self.activity_by_class[instruction_class]
         dynamic = point.energy_per_cycle_j(self.effective_capacitance_f, activity)
         leakage = point.leakage_power_w(self.leakage_coefficient) / point.frequency_hz
-        return dynamic + leakage
+        value = dynamic + leakage
+        self._energy_per_cycle_cache[key] = value
+        return value
 
     def task_energy_j(
         self,
@@ -159,17 +183,38 @@ class PowerCharacterization:
         return cycles * self.energy_per_cycle_j(state, instruction_class)
 
     def execution_time(self, state: PowerState, cycles: float) -> SimTime:
-        """Time to execute ``cycles`` cycles in ``state``."""
-        return self.operating_points.point(state).execution_time(cycles)
+        """Time to execute ``cycles`` cycles in ``state``.
+
+        Cycle counts are often random per task, so the cache only serves
+        the repeated lookups *within* a task's lifecycle (reference
+        duration, estimation, execution); it is emptied once it grows past
+        a bound to keep long campaign runs from accumulating stale keys.
+        """
+        key = (state._idx, cycles)
+        cache = self._execution_time_cache
+        cached = cache.get(key)
+        if cached is None:
+            if len(cache) >= 4096:
+                cache.clear()
+            cached = self.operating_points.point(state).execution_time(cycles)
+            cache[key] = cached
+        return cached
 
     # -- background figures ----------------------------------------------------
     def idle_power_w(self, state: PowerState) -> float:
         """Power of ``state`` while no instructions execute."""
+        idx = state._idx
+        cached = self._idle_power_cache[idx]
+        if cached is not None:
+            return cached
         if state.is_on:
             point = self.operating_points.point(state)
             dynamic = point.dynamic_power_w(self.effective_capacitance_f, self.idle_activity)
-            return dynamic + point.leakage_power_w(self.leakage_coefficient)
-        return self.residual_power_w(state)
+            value = dynamic + point.leakage_power_w(self.leakage_coefficient)
+        else:
+            value = self.residual_power_w(state)
+        self._idle_power_cache[idx] = value
+        return value
 
     def residual_power_w(self, state: PowerState) -> float:
         """Power of a sleep/off state."""

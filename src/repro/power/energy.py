@@ -41,6 +41,8 @@ class EnergyAccount:
         self.owner = owner
         self._by_category: Dict[str, float] = defaultdict(float)
         self._deposits = 0
+        self._total_cache = 0.0
+        self._total_dirty = False
 
     # -- recording -------------------------------------------------------
     def add_energy(self, energy_j: float, category: str = EnergyCategory.ACTIVE) -> None:
@@ -49,6 +51,7 @@ class EnergyAccount:
             raise PowerModelError(f"cannot add negative energy ({energy_j} J) to {self.owner!r}")
         self._by_category[category] += energy_j
         self._deposits += 1
+        self._total_dirty = True
 
     def add_power(self, power_w: float, duration: SimTime, category: str = EnergyCategory.IDLE) -> None:
         """Record ``power_w`` watts drawn for ``duration``."""
@@ -59,8 +62,16 @@ class EnergyAccount:
     # -- queries -------------------------------------------------------------
     @property
     def total_j(self) -> float:
-        """Total recorded energy in joules."""
-        return sum(self._by_category.values())
+        """Total recorded energy in joules.
+
+        The per-category sum is cached between deposits; recomputing it runs
+        exactly the same ``sum`` over the same values, so the cached figure
+        is bit-identical to an eager recomputation.
+        """
+        if self._total_dirty:
+            self._total_cache = sum(self._by_category.values())
+            self._total_dirty = False
+        return self._total_cache
 
     def category_j(self, category: str) -> float:
         """Energy recorded under ``category``."""
@@ -91,11 +102,14 @@ class EnergyLedger:
 
     def __init__(self) -> None:
         self._accounts: Dict[str, EnergyAccount] = {}
+        self._deposit_snapshot = -1
+        self._total_cache = 0.0
 
     def account(self, owner: str) -> EnergyAccount:
         """Return (creating if needed) the account of ``owner``."""
         if owner not in self._accounts:
             self._accounts[owner] = EnergyAccount(owner)
+            self._deposit_snapshot = -1
         return self._accounts[owner]
 
     def register(self, account: EnergyAccount) -> EnergyAccount:
@@ -103,6 +117,7 @@ class EnergyLedger:
         if account.owner in self._accounts and self._accounts[account.owner] is not account:
             raise PowerModelError(f"an account named {account.owner!r} already exists")
         self._accounts[account.owner] = account
+        self._deposit_snapshot = -1
         return account
 
     @property
@@ -112,8 +127,17 @@ class EnergyLedger:
 
     @property
     def total_j(self) -> float:
-        """SoC-wide total energy in joules."""
-        return sum(account.total_j for account in self._accounts.values())
+        """SoC-wide total energy in joules.
+
+        Cached against the combined deposit count of the accounts; the
+        recomputation runs the identical ``sum`` in the identical account
+        order, so the cached figure is bit-identical to an eager one.
+        """
+        deposits = sum(account._deposits for account in self._accounts.values())
+        if deposits != self._deposit_snapshot:
+            self._total_cache = sum(account.total_j for account in self._accounts.values())
+            self._deposit_snapshot = deposits
+        return self._total_cache
 
     def total_excluding(self, owner: str) -> float:
         """Energy dissipated by every consumer except ``owner``.

@@ -26,7 +26,7 @@ from repro.power.states import PowerState
 from repro.power.transitions import TransitionTable
 from repro.sim.kernel import Kernel
 from repro.sim.module import Module
-from repro.sim.simtime import SimTime, ZERO_TIME
+from repro.sim.simtime import SimTime
 
 __all__ = ["PowerStateMachine"]
 
@@ -77,8 +77,15 @@ class PowerStateMachine(Module):
         self._request_event = self.event("request")
         self._requested_state: Optional[PowerState] = None
         self._busy = False
-        self._last_account_time: SimTime = ZERO_TIME
-        self._residency: Dict[PowerState, SimTime] = defaultdict(lambda: ZERO_TIME)
+        self._last_account_fs: int = kernel.now_fs
+        # Hot-path state keyed by the dense PowerState._idx: residency in raw
+        # femtoseconds, memoised background power, and transition costs.
+        self._residency_fs: list = [0] * len(PowerState)
+        # States that appeared in the books even with zero accumulated time
+        # (a zero-latency transition): residency() must still list them.
+        self._residency_touched: set = set()
+        self._background_power: list = [None] * len(PowerState)
+        self._cost_cache: Dict[int, object] = {}
         self._transition_count = 0
         self._transition_counts: Dict[str, int] = defaultdict(int)
         self.add_thread(self._transition_process, name="transitions")
@@ -108,7 +115,11 @@ class PowerStateMachine(Module):
 
     def residency(self) -> Dict[PowerState, SimTime]:
         """Time spent so far in each state (up to the last accounting point)."""
-        return dict(self._residency)
+        return {
+            state: SimTime(self._residency_fs[state._idx])
+            for state in PowerState
+            if self._residency_fs[state._idx] > 0 or state._idx in self._residency_touched
+        }
 
     # ------------------------------------------------------------------
     # Requests (called by the LEM / GEM)
@@ -167,17 +178,22 @@ class PowerStateMachine(Module):
         self._integrate_background()
 
     def _integrate_background(self) -> None:
-        now = self.kernel.now
-        elapsed = now - self._last_account_time
-        if elapsed.is_zero:
+        now_fs = self.kernel.now_fs
+        elapsed_fs = now_fs - self._last_account_fs
+        if elapsed_fs == 0:
             return
-        state = self.state
-        self._residency[state] = self._residency[state] + elapsed
-        power = self.characterization.background_power_w(state, self._busy)
-        if power > 0.0:
-            category = EnergyCategory.SLEEP if not state.is_on else EnergyCategory.IDLE
-            self.energy_account.add_power(power, elapsed, category)
-        self._last_account_time = now
+        state = self._state
+        idx = state._idx
+        self._residency_fs[idx] += elapsed_fs
+        if not self._busy:
+            power = self._background_power[idx]
+            if power is None:
+                power = self.characterization.idle_power_w(state)
+                self._background_power[idx] = power
+            if power > 0.0:
+                category = EnergyCategory.IDLE if state._is_on else EnergyCategory.SLEEP
+                self.energy_account.add_power(power, SimTime(elapsed_fs), category)
+        self._last_account_fs = now_fs
 
     # ------------------------------------------------------------------
     # Internal transition process
@@ -193,7 +209,11 @@ class PowerStateMachine(Module):
             if target is source:
                 self.transition_complete.notify()
                 continue
-            cost = self.transitions.cost(source, target)
+            cost_key = source._idx * 16 + target._idx
+            cost = self._cost_cache.get(cost_key)
+            if cost is None:
+                cost = self.transitions.cost(source, target)
+                self._cost_cache[cost_key] = cost
             # Close the books on the time spent in the old state.
             self._integrate_background()
             self._in_transition = True
@@ -202,8 +222,9 @@ class PowerStateMachine(Module):
                 yield cost.latency
             # The transition interval itself is charged as transition energy;
             # move the accounting marker past it without billing idle power.
-            self._last_account_time = self.kernel.now
-            self._residency[source] = self._residency[source] + cost.latency
+            self._last_account_fs = self.kernel.now_fs
+            self._residency_fs[source._idx] += cost.latency
+            self._residency_touched.add(source._idx)
             self.energy_account.add_energy(cost.energy_j, EnergyCategory.TRANSITION)
             self._state = target
             self.state_signal.write(target)

@@ -32,42 +32,39 @@ class PowerState(Enum):
     ON1 = "ON1"
 
     # -- classification ---------------------------------------------------
+    # The classification flags are precomputed per member (see the loop after
+    # the class body): these properties sit on the simulation hot path and
+    # re-deriving them from the member name on every call was measurable.
     @property
     def is_on(self) -> bool:
         """True for the execution states ``ON1..ON4``."""
-        return self.name.startswith("ON")
+        return self._is_on
 
     @property
     def is_sleep(self) -> bool:
         """True for the sleep states ``SL1..SL4``."""
-        return self.name.startswith("SL")
+        return self._is_sleep
 
     @property
     def is_off(self) -> bool:
         """True only for the soft-off state."""
-        return self is PowerState.OFF
+        return self._is_off
 
     @property
     def can_execute(self) -> bool:
         """True when the IP can execute instructions in this state."""
-        return self.is_on
+        return self._is_on
 
     # -- ordering helpers ---------------------------------------------------
     @property
     def performance_rank(self) -> int:
         """Higher means faster execution.  ON1 = 4 ... ON4 = 1, others = 0."""
-        if not self.is_on:
-            return 0
-        return 5 - int(self.name[2])
+        return self._performance_rank
 
     @property
     def depth(self) -> int:
         """Sleep depth: 0 for ON states, 1..4 for SL1..SL4, 5 for OFF."""
-        if self.is_on:
-            return 0
-        if self.is_off:
-            return 5
-        return int(self.name[2])
+        return self._depth
 
     @property
     def index(self) -> int:
@@ -101,6 +98,22 @@ class PowerState(Enum):
 
     def __str__(self) -> str:
         return self.value
+
+
+for _index, _member in enumerate(PowerState):
+    _member._is_on = _member.name.startswith("ON")
+    _member._is_sleep = _member.name.startswith("SL")
+    _member._is_off = _member is PowerState.OFF
+    _member._performance_rank = 5 - int(_member.name[2]) if _member._is_on else 0
+    _member._depth = 0 if _member._is_on else (5 if _member._is_off else int(_member.name[2]))
+    # Small dense index used by hot-path caches (list indexing and integer
+    # dict keys are much cheaper than hashing enum members).
+    _member._idx = _index
+del _index, _member
+
+# Hot-path caches pack (source, target) state pairs as idx*16 + idx; growing
+# the enum past 16 members would silently alias cache slots.
+assert len(PowerState) <= 16, "packed cache keys assume <= 16 power states"
 
 
 ON_STATES: Sequence[PowerState] = (

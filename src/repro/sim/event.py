@@ -10,16 +10,17 @@ SystemC's ``sc_event``:
 
 The kernel owns a :class:`TimedQueue` of pending timed notifications, ordered
 by (time, insertion sequence) so that simultaneous notifications preserve
-insertion order, which keeps simulations deterministic.
+insertion order, which keeps simulations deterministic.  The queue works on
+raw integer femtoseconds — the kernel converts :class:`~repro.sim.simtime.SimTime`
+values once at the scheduling boundary and everything below runs on plain
+``int`` comparisons.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import TYPE_CHECKING, Callable, List, Optional
 
-from repro.errors import SchedulingError
 from repro.sim.simtime import SimTime, ZERO_TIME
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -41,12 +42,13 @@ class Event:
         Optional hierarchical name used in traces and error messages.
     """
 
+    __slots__ = ("_kernel", "name", "_waiters", "_callbacks")
+
     def __init__(self, kernel: "Kernel", name: str = "") -> None:
         self._kernel = kernel
         self.name = name or f"event_{id(self):x}"
         self._waiters: List["Process"] = []
         self._callbacks: List[Callable[[], None]] = []
-        self._pending_timed: bool = False
 
     # -- introspection --------------------------------------------------
     @property
@@ -124,64 +126,102 @@ class Event:
 class TimedQueue:
     """Priority queue of timed notifications, ordered by absolute time.
 
-    Entries are ``(absolute_time, sequence, payload)`` where ``payload`` is
-    either an :class:`Event` to fire or a :class:`~repro.sim.process.Process`
-    to resume directly (used for ``yield some_duration`` timeouts).  Cancelled
-    entries are flagged lazily and skipped on pop.
+    Heap items are plain lists ``[time_fs, sequence, payload, cancelled]``
+    which double as the cancellation handles — one allocation per
+    notification, compared lexicographically at C speed (the unique
+    ``sequence`` guarantees the ``payload`` element is never compared).
+    ``payload`` is either an :class:`Event` to fire or a
+    :class:`~repro.sim.process.Process` to resume directly (used for
+    ``yield some_duration`` timeouts).  Times are raw integer femtoseconds.
+
+    Cancelled entries are flagged lazily and skipped on pop; to keep long
+    runs with many cancellations from leaking heap slots, the heap is
+    compacted whenever dead entries outnumber the live ones.
     """
+
+    #: minimum number of dead entries before a compaction is considered
+    COMPACT_THRESHOLD = 64
 
     def __init__(self) -> None:
         self._heap: list = []
-        self._sequence = itertools.count()
+        self._next_sequence = 0
         self._live = 0
+        self._dead = 0  # cancelled entries still occupying heap slots
 
     def __len__(self) -> int:
         return self._live
 
-    def push(self, when: SimTime, payload) -> dict:
-        """Schedule ``payload`` at absolute time ``when``; returns a handle.
+    @property
+    def heap_size(self) -> int:
+        """Number of heap slots in use, including cancelled entries."""
+        return len(self._heap)
 
-        The returned handle is a mutable mapping with a ``"cancelled"`` key
-        that callers may set to ``True`` to cancel the notification.
+    def push(self, when_fs: int, payload) -> list:
+        """Schedule ``payload`` at absolute time ``when_fs``; returns a handle.
+
+        The returned handle may be passed to :meth:`cancel` to withdraw the
+        notification.
         """
-        entry = {"time": when, "payload": payload, "cancelled": False}
-        heapq.heappush(self._heap, (when.femtoseconds, next(self._sequence), entry))
+        seq = self._next_sequence
+        self._next_sequence = seq + 1
+        entry = [when_fs, seq, payload, False]
+        heapq.heappush(self._heap, entry)
         self._live += 1
         return entry
 
-    def cancel(self, entry: dict) -> None:
+    def cancel(self, entry: list) -> None:
         """Cancel a previously pushed entry (no-op if already fired)."""
-        if not entry["cancelled"]:
-            entry["cancelled"] = True
+        if not entry[3]:
+            entry[3] = True
             self._live -= 1
+            self._dead += 1
+            if self._dead > self._live and self._dead >= self.COMPACT_THRESHOLD:
+                self._compact()
+
+    def next_time_fs(self) -> Optional[int]:
+        """Absolute femtosecond time of the earliest pending entry, if any."""
+        heap = self._heap
+        while heap and heap[0][3]:
+            heapq.heappop(heap)
+            self._dead -= 1
+        if not heap:
+            return None
+        return heap[0][0]
 
     def next_time(self) -> Optional[SimTime]:
         """Absolute time of the earliest pending entry, or ``None`` if empty."""
-        self._drop_cancelled()
-        if not self._heap:
-            return None
-        return SimTime(self._heap[0][0])
+        when_fs = self.next_time_fs()
+        return None if when_fs is None else SimTime(when_fs)
 
-    def pop_due(self, now: SimTime) -> list:
-        """Pop and return all payloads whose time is exactly ``now``."""
+    def pop_due(self, now_fs: int) -> list:
+        """Pop and return all payloads whose time is exactly ``now_fs``."""
         due = []
-        self._drop_cancelled()
-        while self._heap and self._heap[0][0] == now.femtoseconds:
-            _, _, entry = heapq.heappop(self._heap)
-            if entry["cancelled"]:
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            entry = heap[0]
+            if entry[3]:
+                pop(heap)
+                self._dead -= 1
                 continue
+            if entry[0] != now_fs:
+                break
+            pop(heap)
             self._live -= 1
             # Mark as consumed so a later cancel() of this handle is a no-op.
-            entry["cancelled"] = True
-            if entry["time"] != now:  # pragma: no cover - defensive
-                raise SchedulingError("timed queue popped an entry at the wrong time")
-            due.append(entry["payload"])
-            self._drop_cancelled()
+            entry[3] = True
+            due.append(entry[2])
         return due
 
-    def _drop_cancelled(self) -> None:
-        while self._heap and self._heap[0][2]["cancelled"]:
-            heapq.heappop(self._heap)
+    def _compact(self) -> None:
+        """Drop cancelled entries wholesale and rebuild the heap.
+
+        Heap keys ``(time_fs, sequence)`` are unique, so re-heapifying the
+        surviving items reproduces exactly the original pop order.
+        """
+        self._heap = [entry for entry in self._heap if not entry[3]]
+        heapq.heapify(self._heap)
+        self._dead = 0
 
 
 def _zero() -> SimTime:  # pragma: no cover - kept for API symmetry

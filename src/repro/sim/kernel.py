@@ -19,13 +19,22 @@ about :class:`~repro.sim.event.Event` and
 :class:`~repro.sim.process.Process` objects, which keeps it easy to test in
 isolation and to reuse for non-hardware models (the battery and thermal
 models use plain processes, for instance).
+
+Internally the hot path works on raw integer femtoseconds: the timed queue,
+:meth:`Kernel._advance_to` and the time comparisons in :meth:`Kernel.run`
+never build :class:`~repro.sim.simtime.SimTime` objects per event.  A cached
+``SimTime`` view of the current instant is refreshed once per time advance,
+so :attr:`Kernel.now` stays the public value type without per-read
+allocation.  Pure timed waits (``yield SimTime``) are resumed without any
+waiter-list or cancellation bookkeeping — the dominant activation in this
+library costs one generator ``next()`` plus one heap push.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, List, Optional, Set, Tuple
+from typing import Callable, Deque, List, Optional, Set
 
 from repro.errors import SchedulingError, SimulationError
 from repro.sim.event import Event, TimedQueue
@@ -69,8 +78,12 @@ class Kernel:
     """Discrete-event scheduler with SystemC evaluate/update/delta semantics."""
 
     def __init__(self) -> None:
-        self._now: SimTime = ZERO_TIME
-        self._runnable: Deque[Tuple[Process, Optional[Event]]] = deque()
+        self._now_fs: int = 0
+        self._now: SimTime = ZERO_TIME  # cached SimTime view of _now_fs
+        # Runnable entries are either a bare Process (timed wake, the common
+        # case) or a (Process, Event) tuple when an event wake must carry its
+        # trigger for AllOf bookkeeping.
+        self._runnable: Deque = deque()
         # The delta/update queues preserve insertion order (lists) but use
         # side sets for O(1) dedup — membership scans dominated the hot path.
         self._delta_events: List[Event] = []
@@ -125,13 +138,23 @@ class Kernel:
         return self._now
 
     @property
+    def now_fs(self) -> int:
+        """Current simulated time as raw integer femtoseconds."""
+        return self._now_fs
+
+    @property
     def is_running(self) -> bool:
         """True while :meth:`run` is executing."""
         return self._running
 
     @property
     def pending_activity(self) -> bool:
-        """True if any work (runnable, delta or timed) remains."""
+        """True if any work (runnable, delta or timed) remains.
+
+        Cancelled-only timed entries do not count: the timed queue tracks its
+        live entry count, so a heap full of withdrawn notifications reports
+        no pending activity.
+        """
         return bool(self._runnable or self._delta_events or self._update_queue or len(self._timed))
 
     # ------------------------------------------------------------------
@@ -140,33 +163,36 @@ class Kernel:
     def schedule_immediate(self, event: Event) -> None:
         """Immediate notification: wake waiters within the current phase."""
         self.stats.immediate_notifications += 1
+        runnable = self._runnable
         for process in event.fire():
-            self._runnable.append((process, event))
+            runnable.append((process, event))
 
     def schedule_delta(self, event: Event) -> None:
         """Delta notification: fire the event in the next delta cycle."""
-        if event not in self._delta_scheduled:
-            self._delta_scheduled.add(event)
+        scheduled = self._delta_scheduled
+        if event not in scheduled:
+            scheduled.add(event)
             self._delta_events.append(event)
 
-    def schedule_timed(self, event: Event, delay: SimTime) -> dict:
+    def schedule_timed(self, event: Event, delay: SimTime):
         """Timed notification of ``event`` after ``delay``."""
         self.stats.timed_notifications += 1
-        return self._timed.push(self._now + delay, event)
+        return self._timed.push(self._now_fs + delay, event)
 
-    def schedule_process_timeout(self, process: Process, delay: SimTime) -> dict:
+    def schedule_process_timeout(self, process: Process, delay: SimTime):
         """Resume ``process`` after ``delay`` (a ``yield duration`` wait)."""
         self.stats.timed_notifications += 1
-        return self._timed.push(self._now + delay, process)
+        return self._timed.push(self._now_fs + delay, process)
 
-    def cancel_timed(self, handle: dict) -> None:
+    def cancel_timed(self, handle) -> None:
         """Cancel a previously scheduled timed notification."""
         self._timed.cancel(handle)
 
     def request_update(self, channel) -> None:
         """Queue a primitive channel for the next update phase."""
-        if channel not in self._update_scheduled:
-            self._update_scheduled.add(channel)
+        scheduled = self._update_scheduled
+        if channel not in scheduled:
+            scheduled.add(channel)
             self._update_queue.append(channel)
 
     def add_end_of_delta_callback(self, callback: Callable[[], None]) -> None:
@@ -208,30 +234,32 @@ class Kernel:
         """
         if self._running:
             raise SimulationError("kernel.run() is not reentrant")
+        if duration is not None and not isinstance(duration, SimTime):
+            raise TypeError(
+                f"run() duration must be a SimTime, not {type(duration).__name__}"
+            )
         self._running = True
         self._stop_requested = False
         try:
             if not self._initialized:
                 self.initialize()
-            end_time = None if duration is None else self._now + duration
+            end_fs = None if duration is None else self._now_fs + duration
+            timed = self._timed
             self._delta_loop()
             while not self._stop_requested:
-                next_time = self._timed.next_time()
-                if next_time is None:
+                next_fs = timed.next_time_fs()
+                if next_fs is None:
                     break
-                if end_time is not None and next_time.femtoseconds > end_time.femtoseconds:
-                    self._now = end_time
+                if end_fs is not None and next_fs > end_fs:
+                    self._set_now(end_fs)
                     break
-                self._advance_to(next_time)
+                self._advance_to(next_fs)
                 self._delta_loop()
-            else:
-                # Stop was requested; leave time where it is.
-                pass
-            if end_time is not None and not self._stop_requested:
-                if self._timed.next_time() is None and self._now.femtoseconds < end_time.femtoseconds:
+            if end_fs is not None and not self._stop_requested:
+                if timed.next_time_fs() is None and self._now_fs < end_fs:
                     # Starvation before the requested end time: report the
                     # requested end so repeated run() calls stay monotonic.
-                    self._now = end_time
+                    self._set_now(end_fs)
             return self._now
         finally:
             self._running = False
@@ -239,42 +267,74 @@ class Kernel:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _advance_to(self, next_time: SimTime) -> None:
-        if next_time.femtoseconds < self._now.femtoseconds:  # pragma: no cover - defensive
+    def _set_now(self, now_fs: int) -> None:
+        self._now_fs = now_fs
+        self._now = SimTime(now_fs)
+
+    def _advance_to(self, next_fs: int) -> None:
+        if next_fs < self._now_fs:  # pragma: no cover - defensive
             raise SchedulingError("attempted to move simulated time backwards")
-        self._now = next_time
+        self._set_now(next_fs)
         self.stats.time_advances += 1
-        for payload in self._timed.pop_due(next_time):
-            if isinstance(payload, Event):
+        runnable = self._runnable
+        append = runnable.append
+        for payload in self._timed.pop_due(next_fs):
+            cls = payload.__class__
+            if cls is ThreadProcess:
+                # Pure timed wake (the dominant case): drop the consumed
+                # handle so the process resume skips all wait bookkeeping.
+                payload._pending_timeout = None
+                append(payload)
+            elif cls is Event or isinstance(payload, Event):
                 for process in payload.fire():
-                    self._runnable.append((process, payload))
+                    append((process, payload))
             else:
-                self._runnable.append((payload, None))
+                append((payload, None))
 
     def _delta_loop(self) -> None:
         """Run evaluate/update/delta cycles until no process is runnable."""
-        while (self._runnable or self._delta_events or self._update_queue) and not self._stop_requested:
-            # Evaluate phase.
-            while self._runnable:
-                process, trigger = self._runnable.popleft()
-                if process.terminated:
-                    continue
-                process.resume(trigger)
-                self.stats.process_activations += 1
-            # Update phase.
-            if self._update_queue:
-                updates, self._update_queue = self._update_queue, []
-                self._update_scheduled.clear()
-                for channel in updates:
-                    channel.update()
-                    self.stats.signal_updates += 1
-            # Delta notification phase.
-            if self._delta_events:
-                delta_events, self._delta_events = self._delta_events, []
-                self._delta_scheduled.clear()
-                for event in delta_events:
-                    for process in event.fire():
-                        self._runnable.append((process, event))
-            self.stats.delta_cycles += 1
-            for callback in self._end_of_delta_callbacks:
-                callback()
+        runnable = self._runnable
+        callbacks = self._end_of_delta_callbacks
+        stats = self.stats
+        activations = 0
+        delta_cycles = 0
+        signal_updates = 0
+        try:
+            while (runnable or self._delta_events or self._update_queue) and not self._stop_requested:
+                # Evaluate phase.
+                while runnable:
+                    entry = runnable.popleft()
+                    if entry.__class__ is tuple:
+                        process, trigger = entry
+                        if process.terminated:
+                            continue
+                        process.resume(trigger)
+                    else:
+                        # Bare entries are ThreadProcess timeout wakes whose
+                        # handle was already cleared: advance them directly.
+                        if entry.terminated:
+                            continue
+                        entry._advance()
+                    activations += 1
+                # Update phase.
+                if self._update_queue:
+                    updates, self._update_queue = self._update_queue, []
+                    self._update_scheduled.clear()
+                    for channel in updates:
+                        channel.update()
+                    signal_updates += len(updates)
+                # Delta notification phase.
+                if self._delta_events:
+                    delta_events, self._delta_events = self._delta_events, []
+                    self._delta_scheduled.clear()
+                    for event in delta_events:
+                        for process in event.fire():
+                            runnable.append((process, event))
+                delta_cycles += 1
+                if callbacks:
+                    for callback in callbacks:
+                        callback()
+        finally:
+            stats.process_activations += activations
+            stats.delta_cycles += delta_cycles
+            stats.signal_updates += signal_updates

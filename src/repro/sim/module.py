@@ -57,6 +57,9 @@ class Module:
         self.kernel = kernel
         self.basename = name
         self.parent = parent
+        # The hierarchy is fixed at construction time, so the full name can
+        # be computed once instead of walking the parent chain on every read.
+        self._full_name = name if parent is None else f"{parent.name}.{name}"
         self._children: Dict[str, "Module"] = {}
         self._signals: List[Signal] = []
         self._ports: List[Port] = []
@@ -69,9 +72,7 @@ class Module:
     @property
     def name(self) -> str:
         """Full hierarchical name (dot-separated)."""
-        if self.parent is None:
-            return self.basename
-        return f"{self.parent.name}.{self.basename}"
+        return self._full_name
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}({self.name!r})"

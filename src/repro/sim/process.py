@@ -15,6 +15,11 @@ Two kinds of processes exist, mirroring SystemC:
   re-invoked from scratch every time an event in its static sensitivity list
   is notified.  Method processes never suspend.
 
+The dominant wait in this library is ``yield SimTime`` (a pure timed wait):
+both :meth:`ThreadProcess.resume` and the arming logic special-case it so a
+timed resume touches no waiter lists, no cancellation and no ``AllOf``
+bookkeeping.
+
 Users normally do not instantiate these classes directly; they call
 :meth:`repro.sim.module.Module.add_thread` and
 :meth:`repro.sim.module.Module.add_method`.
@@ -37,6 +42,8 @@ __all__ = ["AnyOf", "AllOf", "Process", "ThreadProcess", "MethodProcess", "WaitS
 class AnyOf:
     """Wait specification: resume when *any* of the given events fires."""
 
+    __slots__ = ("events",)
+
     def __init__(self, events: Iterable[Event]) -> None:
         self.events: List[Event] = list(events)
         if not self.events:
@@ -48,6 +55,8 @@ class AnyOf:
 
 class AllOf:
     """Wait specification: resume when *all* of the given events have fired."""
+
+    __slots__ = ("events",)
 
     def __init__(self, events: Iterable[Event]) -> None:
         self.events: List[Event] = list(events)
@@ -64,12 +73,22 @@ WaitSpec = Union[SimTime, Event, AnyOf, AllOf, None]
 class Process:
     """Common base for thread and method processes."""
 
+    __slots__ = (
+        "kernel",
+        "name",
+        "static_sensitivity",
+        "terminated",
+        "_pending_timeout",
+        "_waiting_events",
+        "_remaining_all_of",
+    )
+
     def __init__(self, kernel: "Kernel", name: str) -> None:
         self.kernel = kernel
         self.name = name
         self.static_sensitivity: List[Event] = []
         self.terminated = False
-        self._pending_timeout = None  # TimedQueue handle for a pending timed wait
+        self._pending_timeout = None  # TimedEntry handle for a pending timed wait
         self._waiting_events: List[Event] = []
         self._remaining_all_of: set = set()
 
@@ -88,13 +107,15 @@ class Process:
         raise NotImplementedError
 
     def _clear_waits(self) -> None:
-        for event in self._waiting_events:
-            event.remove_waiter(self)
-        self._waiting_events = []
+        if self._waiting_events:
+            for event in self._waiting_events:
+                event.remove_waiter(self)
+            self._waiting_events = []
         if self._pending_timeout is not None:
             self.kernel.cancel_timed(self._pending_timeout)
             self._pending_timeout = None
-        self._remaining_all_of = set()
+        if self._remaining_all_of:
+            self._remaining_all_of = set()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         kind = type(self).__name__
@@ -103,6 +124,8 @@ class Process:
 
 class ThreadProcess(Process):
     """A generator-based process (SystemC ``SC_THREAD`` analogue)."""
+
+    __slots__ = ("_func", "_generator")
 
     def __init__(
         self,
@@ -136,18 +159,26 @@ class ThreadProcess(Process):
                 # Still waiting for the remaining events; re-arm on the trigger
                 # is not needed because other events keep us registered.
                 return
-        self._clear_waits()
+        # Fast path: a matured pure timed wait (the kernel clears the handle
+        # before resuming) leaves nothing to unregister.
+        if self._waiting_events or self._pending_timeout is not None or self._remaining_all_of:
+            self._clear_waits()
         self._advance()
 
     # -- internals ----------------------------------------------------------
     def _advance(self) -> None:
-        if self._generator is None:
+        generator = self._generator
+        if generator is None:
             self.terminated = True
             return
         try:
-            spec = next(self._generator)
+            spec = next(generator)
         except StopIteration:
             self.terminated = True
+            return
+        if isinstance(spec, SimTime):
+            # Dominant wait: a plain timed delay, no event registration.
+            self._pending_timeout = self.kernel.schedule_process_timeout(self, spec)
             return
         self._arm(spec)
 
@@ -162,7 +193,7 @@ class ThreadProcess(Process):
                 event.add_waiter(self)
                 self._waiting_events.append(event)
             return
-        if isinstance(spec, SimTime):
+        if isinstance(spec, SimTime):  # pragma: no cover - handled in _advance
             self._pending_timeout = self.kernel.schedule_process_timeout(self, spec)
             return
         if isinstance(spec, Event):
@@ -187,6 +218,8 @@ class ThreadProcess(Process):
 
 class MethodProcess(Process):
     """A callable re-run on every notification of its sensitivity list."""
+
+    __slots__ = ("_func", "dont_initialize")
 
     def __init__(
         self,

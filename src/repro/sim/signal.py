@@ -15,7 +15,7 @@ Signals expose three notification events:
 
 from __future__ import annotations
 
-from typing import Callable, Generic, List, Optional, Tuple, TypeVar
+from typing import Callable, Generic, List, Optional, TypeVar
 
 from repro.sim.event import Event
 from repro.sim.kernel import Kernel
@@ -38,6 +38,19 @@ class Signal(Generic[T]):
     initial:
         Initial value, visible from time zero.
     """
+
+    __slots__ = (
+        "_kernel",
+        "name",
+        "_current",
+        "_next",
+        "changed_event",
+        "_posedge_event",
+        "_negedge_event",
+        "_observers",
+        "_write_count",
+        "_change_count",
+    )
 
     def __init__(self, kernel: Kernel, name: str, initial: T) -> None:
         self._kernel = kernel
@@ -100,20 +113,37 @@ class Signal(Generic[T]):
 
     # -- kernel interface -----------------------------------------------------
     def update(self) -> None:
-        """Apply the pending write; called by the kernel in the update phase."""
-        if self._next == self._current:
+        """Apply the pending write; called by the kernel in the update phase.
+
+        Notification events with neither waiters nor callbacks are not
+        scheduled at all: the update phase runs after the evaluate phase, so
+        the waiter set is final and firing such an event in the next delta
+        cycle could not wake anything.  Skipping them keeps waiter-less
+        signal traffic (status/debug signals nobody listens to) from forcing
+        empty delta cycles through the kernel.
+        """
+        new = self._next
+        old = self._current
+        if new == old:
             return
-        old, self._current = self._current, self._next
+        self._current = new
         self._change_count += 1
-        self.changed_event.notify_delta()
-        if isinstance(old, bool) or isinstance(self._current, bool):
-            if not old and self._current and self._posedge_event is not None:
-                self._posedge_event.notify_delta()
-            if old and not self._current and self._negedge_event is not None:
-                self._negedge_event.notify_delta()
-        now = self._kernel.now
-        for observer in self._observers:
-            observer(now, self._current)
+        kernel = self._kernel
+        changed = self.changed_event
+        if changed._waiters or changed._callbacks:
+            kernel.schedule_delta(changed)
+        posedge = self._posedge_event
+        negedge = self._negedge_event
+        if posedge is not None or negedge is not None:
+            if isinstance(old, bool) or isinstance(new, bool):
+                if not old and new and posedge is not None and (posedge._waiters or posedge._callbacks):
+                    kernel.schedule_delta(posedge)
+                if old and not new and negedge is not None and (negedge._waiters or negedge._callbacks):
+                    kernel.schedule_delta(negedge)
+        if self._observers:
+            now = kernel.now
+            for observer in self._observers:
+                observer(now, new)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Signal({self.name!r}, value={self._current!r})"

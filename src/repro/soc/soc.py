@@ -103,6 +103,11 @@ class SoC(Module):
         self.ledger = EnergyLedger()
         self.battery = Battery(config.battery)
         self.thermal = ThermalModel(config.thermal)
+        # Both sensors sample on the same schedule, so the SoC drives them
+        # from one shared thread (monitor first, sensor second — the same
+        # order in which their autonomous loops would have been activated):
+        # one process activation per sample instead of two, with an
+        # observable behaviour identical to independent samplers.
         self.battery_monitor = BatteryMonitor(
             simulator.kernel,
             "battery_monitor",
@@ -110,6 +115,7 @@ class SoC(Module):
             self.ledger,
             sample_interval=config.sample_interval,
             pre_sample=self.flush_power_books,
+            autonomous=False,
             parent=self,
         )
         self.temperature_sensor = TemperatureSensor(
@@ -119,8 +125,10 @@ class SoC(Module):
             self.ledger,
             sample_interval=config.sample_interval,
             pre_sample=self.flush_power_books,
+            autonomous=False,
             parent=self,
         )
+        self.add_thread(self._shared_sample_loop, name="sampler")
         self.fan: Optional[Fan] = None
         if config.with_fan:
             self.fan = Fan(
@@ -192,12 +200,22 @@ class SoC(Module):
         if max_time.is_zero:
             raise ConfigurationError("max_time must be positive")
         self.simulator.elaborate()
-        while not self.all_done and self.simulator.now.femtoseconds < max_time.femtoseconds:
+        while not self.all_done and self.simulator.now < max_time:
             remaining = max_time - self.simulator.now
-            chunk = check_interval if check_interval.femtoseconds < remaining.femtoseconds else remaining
+            chunk = check_interval if check_interval < remaining else remaining
             self.simulator.run(chunk)
         self.flush()
         return self.simulator.now
+
+    def _shared_sample_loop(self):
+        """One periodic process sampling battery and temperature in order."""
+        interval = self.config.sample_interval
+        monitor_sample = self.battery_monitor.sample_now
+        sensor_sample = self.temperature_sensor.sample_now
+        while True:
+            yield interval
+            monitor_sample()
+            sensor_sample()
 
     def flush_power_books(self) -> None:
         """Post the lazily integrated background/fan energy up to now."""

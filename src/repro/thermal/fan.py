@@ -74,6 +74,8 @@ class Fan(Module):
 
     def _account(self) -> None:
         now = self.kernel.now
+        if now == self._last_change:
+            return
         elapsed = now - self._last_change
         self._last_change = now
         if self.is_on and not elapsed.is_zero:

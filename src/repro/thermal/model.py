@@ -61,6 +61,10 @@ class ThermalModel:
         self._peak_c = self.config.initial_c
         self._integral_c_s = 0.0
         self._integrated_time_s = 0.0
+        # exp(-dt/tau) per (dt_s, tau): the sampling loops step with a fixed
+        # interval, so the decay factor is almost always a cache hit.  The
+        # cached value is the result of the identical exp() call.
+        self._decay_cache: dict = {}
 
     # -- state ------------------------------------------------------------
     @property
@@ -125,7 +129,7 @@ class ThermalModel:
         resistance = self.effective_resistance()
         tau = resistance * self.config.thermal_capacitance_j_per_c
         steady = self.config.ambient_c + power_w * resistance
-        decay = math.exp(-dt_s / tau)
+        decay = self._decay(dt_s, tau)
         previous = self._temperature_c
         self._temperature_c = steady + (previous - steady) * decay
         self._peak_c = max(self._peak_c, self._temperature_c)
@@ -133,6 +137,18 @@ class ThermalModel:
         self._integral_c_s += 0.5 * (previous + self._temperature_c) * dt_s
         self._integrated_time_s += dt_s
         return self._temperature_c
+
+    def _decay(self, dt_s: float, tau: float) -> float:
+        """Cached ``exp(-dt/tau)``, bounded so varying-duration estimates
+        (one per task) cannot grow the cache without limit."""
+        key = (dt_s, tau)
+        decay = self._decay_cache.get(key)
+        if decay is None:
+            if len(self._decay_cache) >= 1024:
+                self._decay_cache.clear()
+            decay = math.exp(-dt_s / tau)
+            self._decay_cache[key] = decay
+        return decay
 
     def steady_state_c(self, power_w: float) -> float:
         """Temperature reached if ``power_w`` were dissipated forever."""
@@ -151,7 +167,8 @@ class ThermalModel:
         resistance = self.effective_resistance()
         tau = resistance * self.config.thermal_capacitance_j_per_c
         steady = self.config.ambient_c + power_w * resistance
-        decay = math.exp(-duration.seconds / tau) if duration.seconds > 0 else 1.0
+        duration_s = duration.seconds
+        decay = self._decay(duration_s, tau) if duration_s > 0 else 1.0
         return steady + (self._temperature_c - steady) * decay
 
     def snapshot(self) -> dict:

@@ -32,6 +32,7 @@ class TemperatureSensor(Module):
         ledger: EnergyLedger,
         sample_interval: Optional[SimTime] = None,
         pre_sample=None,
+        autonomous: bool = True,
         parent: Optional[Module] = None,
     ) -> None:
         super().__init__(kernel, name, parent)
@@ -45,7 +46,11 @@ class TemperatureSensor(Module):
         self.level_signal = self.signal("level", model.level)
         self._last_total_j = ledger.total_j
         self._history: List[Tuple[SimTime, float]] = []
-        self.add_thread(self._sample_loop, name="sampler")
+        # ``autonomous=False`` suppresses the sampling thread: an external
+        # orchestrator (e.g. the SoC's shared sampler) calls sample_now()
+        # on the same schedule, halving the per-sample process activations.
+        if autonomous:
+            self.add_thread(self._sample_loop, name="sampler")
 
     @property
     def level(self) -> TemperatureLevel:

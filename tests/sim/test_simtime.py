@@ -48,6 +48,14 @@ class TestArithmetic:
         with pytest.raises(SimulationError):
             ns(1) - ns(2)
 
+    def test_mixing_plain_numbers_rejected(self):
+        with pytest.raises(TypeError):
+            ns(5) + 3
+        with pytest.raises(TypeError):
+            ns(5) - 3
+        with pytest.raises(TypeError):
+            ns(5) + 0.5
+
     def test_multiplication_by_scalar(self):
         assert ns(2) * 3 == ns(6)
         assert 3 * ns(2) == ns(6)
