@@ -1,0 +1,24 @@
+"""Internal enum decoration helpers.
+
+Hot-path code indexes per-member state with plain integers (list slots,
+packed cache keys) and renders members with a precomputed string, because
+``Enum.__hash__`` and ``DynamicClassAttribute`` lookups are Python-level
+calls that show up in simulation profiles.  :func:`dense_index` stamps the
+``_idx``/``_str`` attributes that contract relies on.
+"""
+
+from __future__ import annotations
+
+__all__ = ["dense_index"]
+
+
+def dense_index(enum_cls) -> None:
+    """Stamp each member with ``_idx`` (dense 0..n-1) and ``_str`` (value).
+
+    ``_idx`` doubles as the member's rank wherever the declaration order is
+    the natural ordering (battery levels, temperature levels, task
+    priorities).
+    """
+    for index, member in enumerate(enum_cls):
+        member._idx = index
+        member._str = member._value_

@@ -63,6 +63,15 @@ class Battery:
         # read it several times per sample, so cache it per remaining value.
         self._soc_cache_remaining_j: float = self._remaining_j
         self._soc_cache: float = max(0.0, min(1.0, self._remaining_j / self.config.capacity_j))
+        # The quantised level is likewise a pure function of _remaining_j and
+        # is read far more often than the charge moves (every GEM evaluation
+        # and LEM estimate), so cache the classification per remaining value.
+        self._level_cache_remaining_j: float = float("nan")
+        self._level_cache: Optional[BatteryLevel] = None
+        # Fast accuracy mode installs a callback that lazily replays the
+        # pending sampler windows before the state is observed; exact mode
+        # leaves it None and pays one attribute check per read.
+        self._sync_hook = None
 
     # -- state ------------------------------------------------------------
     @property
@@ -78,6 +87,8 @@ class Battery:
     @property
     def state_of_charge(self) -> float:
         """Remaining fraction of the nominal capacity, in [0, 1]."""
+        if self._sync_hook is not None:
+            self._sync_hook()
         if self._remaining_j != self._soc_cache_remaining_j:
             self._soc_cache_remaining_j = self._remaining_j
             self._soc_cache = max(0.0, min(1.0, self._remaining_j / self.config.capacity_j))
@@ -103,7 +114,18 @@ class Battery:
         """Quantised battery level (or ``AC_POWER`` when on mains)."""
         if self.config.on_ac_power:
             return BatteryLevel.AC_POWER
-        return self.config.thresholds.classify(self.state_of_charge)
+        if self._sync_hook is not None:
+            self._sync_hook()
+        remaining = self._remaining_j
+        if remaining != self._level_cache_remaining_j:
+            self._level_cache_remaining_j = remaining
+            # Inline state_of_charge (the property would re-run the sync
+            # hook this method just ran).
+            if remaining != self._soc_cache_remaining_j:
+                self._soc_cache_remaining_j = remaining
+                self._soc_cache = max(0.0, min(1.0, remaining / self.config.capacity_j))
+            self._level_cache = self.config.thresholds.classify(self._soc_cache)
+        return self._level_cache
 
     def level_if_drawn(self, energy_j: float) -> BatteryLevel:
         """Level the battery would have after drawing ``energy_j`` more joules.
@@ -115,6 +137,8 @@ class Battery:
             return BatteryLevel.AC_POWER
         if energy_j < 0.0:
             raise BatteryError("estimated energy must be non-negative")
+        if self._sync_hook is not None:
+            self._sync_hook()
         projected = max(0.0, self._remaining_j - energy_j) / self.config.capacity_j
         return self.config.thresholds.classify(min(1.0, projected))
 
@@ -162,6 +186,37 @@ class Battery:
         self._drawn_j += energy_j
         self._wasted_j += removed - energy_j
         return removed
+
+    def drain_windows(self, energy_per_window_j: float, window: SimTime, count: int) -> None:
+        """Drain ``count`` equal sampling windows in one closed-form step.
+
+        Fast accuracy mode only.  When the per-window average power stays at
+        or below the nominal discharge power (rate factor 1.0) and there is
+        neither self-discharge nor a clamp at empty, ``count`` successive
+        :meth:`draw_energy` calls reduce the charge by exactly
+        ``count * energy_per_window_j`` — the batched update reassociates
+        that sum (documented tolerance: 1e-6 relative on the state of
+        charge).  Any condition that would make the per-window steps
+        non-linear falls back to the exact per-window loop.
+        """
+        if count <= 0:
+            return
+        if self.config.on_ac_power:
+            self._drawn_j += energy_per_window_j * count
+            return
+        window_s = window.seconds
+        power = energy_per_window_j / window_s if window_s > 0.0 else 0.0
+        total = energy_per_window_j * count
+        if (
+            power <= self.config.nominal_power_w
+            and self.config.self_discharge_w == 0.0
+            and self._remaining_j > total
+        ):
+            self._remaining_j -= total
+            self._drawn_j += total
+            return
+        for _ in range(count):
+            self.draw_energy(energy_per_window_j, over=window)
 
     def recharge(self, energy_j: float) -> None:
         """Add charge (clamped to the nominal capacity)."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
+from repro._enumtools import dense_index
 from repro.errors import BatteryError
 
 __all__ = ["BatteryLevel", "BatteryThresholds"]
@@ -35,22 +36,17 @@ class BatteryLevel(Enum):
     @property
     def rank(self) -> int:
         """Ordering helper: EMPTY=0 ... FULL=4, AC_POWER=5."""
-        order = {
-            BatteryLevel.EMPTY: 0,
-            BatteryLevel.LOW: 1,
-            BatteryLevel.MEDIUM: 2,
-            BatteryLevel.HIGH: 3,
-            BatteryLevel.FULL: 4,
-            BatteryLevel.AC_POWER: 5,
-        }
-        return order[self]
+        return self._idx
 
     def at_least(self, other: "BatteryLevel") -> bool:
         """True when this level is at least as charged as ``other``."""
-        return self.rank >= other.rank
+        return self._idx >= other._idx
 
     def __str__(self) -> str:
-        return self.value
+        return self._str
+
+
+dense_index(BatteryLevel)  # _idx doubles as rank; _str for hot-path __str__
 
 
 @dataclass(frozen=True)

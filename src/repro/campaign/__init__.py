@@ -27,7 +27,12 @@ from repro.campaign.aggregate import (
     render_campaign_report,
     render_status,
 )
-from repro.campaign.executor import CampaignSummary, execute_job, run_campaign
+from repro.campaign.executor import (
+    CampaignSummary,
+    execute_baseline,
+    execute_job,
+    run_campaign,
+)
 from repro.campaign.spec import (
     CampaignSpec,
     JobSpec,
@@ -52,6 +57,7 @@ __all__ = [
     "build_setup",
     "campaign_status",
     "canonical_json",
+    "execute_baseline",
     "execute_job",
     "job_hash",
     "normalize_scenario",

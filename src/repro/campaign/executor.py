@@ -31,7 +31,7 @@ from repro.campaign.spec import CampaignSpec, JobSpec, build_scenario, build_set
 from repro.campaign.store import ResultStore
 from repro.errors import CampaignError
 
-__all__ = ["CampaignSummary", "execute_job", "run_campaign"]
+__all__ = ["CampaignSummary", "execute_baseline", "execute_job", "run_campaign"]
 
 
 @dataclass
@@ -45,6 +45,8 @@ class CampaignSummary:
     ok: int = 0
     errors: int = 0
     timeouts: int = 0
+    baseline_runs: int = 0
+    baseline_reused: int = 0
     wall_clock_s: float = 0.0
     records: List[Dict[str, Any]] = field(default_factory=list)
 
@@ -58,6 +60,8 @@ class CampaignSummary:
             "ok": self.ok,
             "errors": self.errors,
             "timeouts": self.timeouts,
+            "baseline_runs": self.baseline_runs,
+            "baseline_reused": self.baseline_reused,
             "wall_clock_s": self.wall_clock_s,
         }
 
@@ -83,13 +87,58 @@ def _run_with_timeout(func: Callable[[], Any], timeout_s: Optional[float]) -> An
         signal.signal(signal.SIGALRM, previous)
 
 
-def execute_job(job_dict: Mapping[str, Any], timeout_s: Optional[float] = None) -> Dict[str, Any]:
+def execute_baseline(job_dict: Mapping[str, Any], timeout_s: Optional[float] = None) -> Dict[str, Any]:
+    """Run one shared baseline and return its record (never raises).
+
+    The record carries ``baseline_key``, ``status`` and (on success) the
+    plain :class:`~repro.experiments.runner.BaselineFigures` dictionary that
+    :func:`execute_job` consumes instead of re-simulating the baseline.
+    """
+    from repro.experiments.runner import run_baseline
+
+    job = JobSpec.from_dict(job_dict)
+    record: Dict[str, Any] = {
+        "baseline_key": job.baseline_key,
+        "scenario": job.scenario["name"],
+        "baseline": job.baseline["name"],
+        "seed": job.seed,
+        "accuracy": job.accuracy,
+        "worker_pid": os.getpid(),
+    }
+    wall_start = time.perf_counter()
+    try:
+        scenario = build_scenario(job.scenario, seed=job.seed)
+        figures = _run_with_timeout(
+            lambda: run_baseline(
+                scenario, build_setup(job.baseline), accuracy=job.accuracy
+            ),
+            timeout_s,
+        )
+    except _JobTimeout:
+        record["status"] = "timeout"
+    except Exception as error:  # noqa: BLE001 - jobs fall back to own baselines
+        record["status"] = "error"
+        record["error"] = {"type": type(error).__name__, "message": str(error)}
+    else:
+        record["status"] = "ok"
+        record["figures"] = figures.as_dict()
+    record["wall_clock_s"] = time.perf_counter() - wall_start
+    return record
+
+
+def execute_job(
+    job_dict: Mapping[str, Any],
+    timeout_s: Optional[float] = None,
+    baseline_figures: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
     """Run one campaign job and return its result record (never raises).
 
     The record always carries ``job_id``, ``job``, ``status`` and ``label``;
     successful jobs add ``metrics`` and ``per_ip``, failed jobs add ``error``.
+    ``baseline_figures`` (a stored shared-baseline dictionary) skips the
+    baseline simulation; runs are deterministic, so the result is identical.
     """
-    from repro.experiments.runner import run_comparison
+    from repro.experiments.runner import BaselineFigures, run_comparison
 
     job = JobSpec.from_dict(job_dict)
     record: Dict[str, Any] = {
@@ -99,8 +148,16 @@ def execute_job(job_dict: Mapping[str, Any], timeout_s: Optional[float] = None) 
         "scenario": job.scenario["name"],
         "setup": job.setup["name"],
         "seed": job.seed,
+        "accuracy": job.accuracy,
         "worker_pid": os.getpid(),
     }
+    figures = None
+    if baseline_figures is not None:
+        try:
+            figures = BaselineFigures.from_dict(baseline_figures)
+            record["baseline_key"] = job.baseline_key
+        except (KeyError, TypeError, ValueError):
+            figures = None  # corrupt cache entry: recompute the baseline
     wall_start = time.perf_counter()
     try:
         scenario = build_scenario(job.scenario, seed=job.seed)
@@ -109,6 +166,8 @@ def execute_job(job_dict: Mapping[str, Any], timeout_s: Optional[float] = None) 
                 scenario,
                 dpm=build_setup(job.setup),
                 baseline=build_setup(job.baseline),
+                accuracy=job.accuracy,
+                baseline_figures=figures,
             ),
             timeout_s,
         )
@@ -134,9 +193,15 @@ def execute_job(job_dict: Mapping[str, Any], timeout_s: Optional[float] = None) 
 
 
 def _execute_job_star(payload) -> Dict[str, Any]:
+    """Pool adapter: unpack ``(job_dict, timeout_s, baseline_figures)``."""
+    job_dict, timeout_s, baseline_figures = payload
+    return execute_job(job_dict, timeout_s, baseline_figures)
+
+
+def _execute_baseline_star(payload) -> Dict[str, Any]:
     """Pool adapter: unpack ``(job_dict, timeout_s)``."""
     job_dict, timeout_s = payload
-    return execute_job(job_dict, timeout_s)
+    return execute_baseline(job_dict, timeout_s)
 
 
 def run_campaign(
@@ -186,6 +251,34 @@ def run_campaign(
 
     wall_start = time.perf_counter()
 
+    # ------------------------------------------------------------------
+    # Shared baselines: one run per (scenario, baseline, seed, accuracy)
+    # cell instead of one per job.  Missing cells are computed first (through
+    # the same pool), stored, and handed to the jobs as plain figures; a
+    # failed baseline cell simply makes its jobs recompute their own.
+    # ------------------------------------------------------------------
+    baseline_jobs: Dict[str, JobSpec] = {}
+    for job in pending:
+        key = job.baseline_key
+        if key not in baseline_jobs:
+            baseline_jobs[key] = job
+    cached_figures: Dict[str, Dict[str, Any]] = {}
+    missing: List[JobSpec] = []
+    for key, job in baseline_jobs.items():
+        stored = store.get_baseline(key)
+        if stored is not None and stored.get("status") == "ok" and "figures" in stored:
+            cached_figures[key] = stored["figures"]
+            summary.baseline_reused += 1
+        else:
+            missing.append(job)
+
+    def consume_baseline(record: Dict[str, Any]) -> None:
+        key = record.get("baseline_key", "")
+        store.put_baseline(key, record)
+        summary.baseline_runs += 1
+        if record.get("status") == "ok" and "figures" in record:
+            cached_figures[key] = record["figures"]
+
     def consume(record: Dict[str, Any]) -> None:
         store.put(record)
         summary.records.append(record)
@@ -201,14 +294,23 @@ def run_campaign(
             progress(record)
 
     if workers == 1 or len(pending) <= 1:
+        for job in missing:
+            consume_baseline(execute_baseline(job.to_dict(), timeout_s))
         for job in pending:
-            consume(execute_job(job.to_dict(), timeout_s))
+            consume(execute_job(job.to_dict(), timeout_s, cached_figures.get(job.baseline_key)))
     else:
         import multiprocessing
 
-        payloads = [(job.to_dict(), timeout_s) for job in pending]
         with multiprocessing.Pool(processes=min(workers, len(pending))) as pool:
             try:
+                if missing:
+                    baseline_payloads = [(job.to_dict(), timeout_s) for job in missing]
+                    for record in pool.imap_unordered(_execute_baseline_star, baseline_payloads):
+                        consume_baseline(record)
+                payloads = [
+                    (job.to_dict(), timeout_s, cached_figures.get(job.baseline_key))
+                    for job in pending
+                ]
                 for record in pool.imap_unordered(_execute_job_star, payloads):
                     consume(record)
             except KeyboardInterrupt:

@@ -248,15 +248,24 @@ class JobSpec:
     setup: Mapping[str, Any]
     baseline: Mapping[str, Any]
     seed: Optional[int] = None
+    accuracy: str = "exact"
 
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-data view used for hashing, storage and the worker pool."""
-        return {
+        """Plain-data view used for hashing, storage and the worker pool.
+
+        ``accuracy`` is only included when it differs from ``exact``, so the
+        job ids of pre-accuracy-mode campaigns (and their stored results)
+        remain valid for ``--resume``.
+        """
+        data = {
             "scenario": dict(self.scenario),
             "setup": dict(self.setup),
             "baseline": dict(self.baseline),
             "seed": self.seed,
         }
+        if self.accuracy != "exact":
+            data["accuracy"] = self.accuracy
+        return data
 
     @staticmethod
     def from_dict(value: Mapping[str, Any]) -> "JobSpec":
@@ -266,12 +275,30 @@ class JobSpec:
             setup=dict(value["setup"]),
             baseline=dict(value["baseline"]),
             seed=value.get("seed"),
+            accuracy=str(value.get("accuracy", "exact")),
         )
 
     @property
     def job_id(self) -> str:
         """Content address of this job (stable across processes and runs)."""
         return job_hash(self.to_dict())
+
+    @property
+    def baseline_key(self) -> str:
+        """Content address of this job's baseline run.
+
+        Keyed by (scenario, baseline setup, seed, accuracy mode) only — the
+        DPM setup under study does not influence the baseline — so every job
+        of a grid that shares a scenario cell shares one baseline run.
+        """
+        return job_hash(
+            {
+                "scenario": dict(self.scenario),
+                "baseline": dict(self.baseline),
+                "seed": self.seed,
+                "accuracy": self.accuracy,
+            }
+        )
 
     @property
     def label(self) -> str:
@@ -295,10 +322,15 @@ class CampaignSpec:
     baseline: Dict[str, Any] = field(default_factory=lambda: {"name": "always-on"})
     description: str = ""
     job_timeout_s: Optional[float] = None
+    accuracy: str = "exact"
 
     def __post_init__(self) -> None:
         if not self.name:
             raise CampaignError("a campaign needs a name")
+        if self.accuracy not in ("exact", "fast"):
+            raise CampaignError(
+                f"unknown accuracy mode {self.accuracy!r} (expected 'exact' or 'fast')"
+            )
         if not self.scenarios:
             raise CampaignError(f"campaign {self.name!r} defines no scenarios")
         if not self.setups:
@@ -338,6 +370,7 @@ class CampaignSpec:
                             setup=setup,
                             baseline=self.baseline,
                             seed=seed,
+                            accuracy=self.accuracy,
                         )
                         if job.job_id not in seen:
                             seen.add(job.job_id)
@@ -359,6 +392,8 @@ class CampaignSpec:
             data["description"] = self.description
         if self.job_timeout_s is not None:
             data["job_timeout_s"] = self.job_timeout_s
+        if self.accuracy != "exact":
+            data["accuracy"] = self.accuracy
         return data
 
     @staticmethod
@@ -368,7 +403,7 @@ class CampaignSpec:
             raise CampaignError(f"a campaign spec must be a mapping, got {value!r}")
         known = {
             "name", "scenarios", "setups", "seeds", "overrides",
-            "baseline", "description", "job_timeout_s",
+            "baseline", "description", "job_timeout_s", "accuracy",
         }
         unknown = set(value) - known
         if unknown:
@@ -388,6 +423,7 @@ class CampaignSpec:
         kwargs["description"] = str(value.get("description", ""))
         if value.get("job_timeout_s") is not None:
             kwargs["job_timeout_s"] = float(value["job_timeout_s"])
+        kwargs["accuracy"] = str(value.get("accuracy", "exact"))
         return CampaignSpec(**kwargs)
 
     @staticmethod

@@ -28,14 +28,22 @@ __all__ = ["ResultStore"]
 
 _MANIFEST = "campaign.json"
 _RECORDS = "records"
+_BASELINES = "baselines"
 
 
 class ResultStore:
-    """Per-campaign persistence: one JSON record per job, keyed by job hash."""
+    """Per-campaign persistence: one JSON record per job, keyed by job hash.
+
+    Baseline runs are stored separately under ``baselines/<key>.json`` keyed
+    by :attr:`~repro.campaign.spec.JobSpec.baseline_key` — the hash of
+    (scenario, baseline setup, seed, accuracy mode) — so every job of a grid
+    cell shares one baseline simulation instead of re-running it per job.
+    """
 
     def __init__(self, root: Union[str, os.PathLike]) -> None:
         self.root = Path(root)
         self.records_dir = self.root / _RECORDS
+        self.baselines_dir = self.root / _BASELINES
         # The directories are created lazily by the write paths, so read-only
         # commands (status/report) on a mistyped path have no side effects.
 
@@ -114,6 +122,32 @@ class ResultStore:
                 continue  # a half-written record counts as missing
             if isinstance(record, dict):
                 yield record
+
+    # -- shared baselines ------------------------------------------------
+    def put_baseline(self, key: str, record: Mapping[str, Any]) -> None:
+        """Store the figures of one shared baseline run."""
+        if not isinstance(key, str) or not key:
+            raise CampaignError("baseline records need a non-empty key")
+        self.baselines_dir.mkdir(parents=True, exist_ok=True)
+        self._write_atomic(self.baselines_dir / f"{key}.json", dict(record))
+
+    def get_baseline(self, key: str) -> Optional[Dict[str, Any]]:
+        """Load a shared baseline record, or ``None`` when absent/corrupt."""
+        path = self.baselines_dir / f"{key}.json"
+        if not path.is_file():
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        return record if isinstance(record, dict) else None
+
+    def baseline_keys(self) -> Set[str]:
+        """Keys of all stored shared baselines."""
+        if not self.baselines_dir.is_dir():
+            return set()
+        return {path.stem for path in self.baselines_dir.glob("*.json")}
 
     # -- internals ------------------------------------------------------
     @staticmethod

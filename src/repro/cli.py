@@ -64,6 +64,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
     subparsers = parser.add_subparsers(dest="command")
 
+    def add_accuracy_flag(sub) -> None:
+        sub.add_argument(
+            "--accuracy",
+            choices=["exact", "fast"],
+            default="exact",
+            help="accuracy mode: 'exact' (bit-identical reference) or 'fast' "
+            "(toleranced fast math; see README 'Accuracy modes')",
+        )
+
     table2 = subparsers.add_parser("table2", help="reproduce the paper's Table 2")
     table2.add_argument(
         "scenarios",
@@ -76,10 +85,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="paper",
         help="DPM configuration to evaluate against the always-on baseline",
     )
+    add_accuracy_flag(table2)
 
     scenario = subparsers.add_parser("scenario", help="run one scenario in detail")
     scenario.add_argument("name", help="scenario id (A1..A4, B, C)")
     scenario.add_argument("--setup", choices=sorted(_SETUPS), default="paper")
+    add_accuracy_flag(scenario)
 
     rules = subparsers.add_parser("rules", help="print or query the Table-1 rules")
     rules.add_argument("--priority", choices=[p.value for p in TaskPriority])
@@ -89,7 +100,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = subparsers.add_parser("sweep", help="battery x temperature condition sweep")
     sweep.add_argument("--tasks", type=int, default=20, help="tasks per scenario")
 
-    subparsers.add_parser("speed", help="measure simulation speed (Kcycle/s)")
+    speed = subparsers.add_parser("speed", help="measure simulation speed (Kcycle/s)")
+    add_accuracy_flag(speed)
 
     subparsers.add_parser("breakeven", help="break-even times of the default IP")
 
@@ -126,6 +138,12 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_run.add_argument(
         "--quiet", action="store_true", help="do not print per-job progress lines"
     )
+    campaign_run.add_argument(
+        "--accuracy",
+        choices=["exact", "fast"],
+        default=None,
+        help="override the spec's accuracy mode for every job",
+    )
 
     campaign_status_p = campaign_sub.add_parser(
         "status", help="show done/failed/missing jobs of a campaign directory"
@@ -151,7 +169,7 @@ def _cmd_table2(args) -> int:
         scenarios = [scenario_by_name(name) for name in args.scenarios]
     else:
         scenarios = paper_scenarios()
-    results = reproduce_table2(scenarios, dpm=_SETUPS[args.setup]())
+    results = reproduce_table2(scenarios, dpm=_SETUPS[args.setup](), accuracy=args.accuracy)
     print(render_comparison(results))
     return 0
 
@@ -162,9 +180,9 @@ def _cmd_scenario(args) -> int:
 
     scenario = scenario_by_name(args.name)
     setup = _SETUPS[args.setup]()
-    metrics = run_comparison(scenario, dpm=setup)
+    metrics = run_comparison(scenario, dpm=setup, accuracy=args.accuracy)
     print(f"Scenario {scenario.name}: {scenario.description}")
-    print(f"DPM setup: {setup.name}\n")
+    print(f"DPM setup: {setup.name} (accuracy: {args.accuracy})\n")
     rows = [
         ["energy saving (%)", f"{metrics.energy_saving_pct:.1f}"],
         ["temperature reduction (%)", f"{metrics.temperature_reduction_pct:.1f}"],
@@ -227,10 +245,10 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
-def _cmd_speed(_args) -> int:
+def _cmd_speed(args) -> int:
     from repro.experiments.table2 import simulation_speed, simulation_speed_report
 
-    print(simulation_speed_report(simulation_speed()))
+    print(simulation_speed_report(simulation_speed(accuracy=args.accuracy)))
     return 0
 
 
@@ -308,6 +326,8 @@ def _cmd_campaign_inner(args) -> int:
         return 2
     if args.campaign_command == "run":
         spec = CampaignSpec.from_file(args.spec)
+        if args.accuracy is not None:
+            spec.accuracy = args.accuracy
         directory = args.directory or os.path.join("campaigns", spec.name)
         progress = None
         if not args.quiet:

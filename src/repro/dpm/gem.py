@@ -42,6 +42,15 @@ from repro.thermal.level import TemperatureLevel
 
 __all__ = ["GemConfig", "GlobalEnergyManager"]
 
+#: sentinel "no pending request" priority rank (worse than any real rank)
+_NO_RANK = 1 << 30
+
+# Plain tuples: enum membership in a short tuple identity-compares, which
+# beats the Python-level __hash__ a frozenset lookup would pay.
+_BATTERY_OK = (BatteryLevel.MEDIUM, BatteryLevel.HIGH, BatteryLevel.FULL, BatteryLevel.AC_POWER)
+_BATTERY_POOR = (BatteryLevel.EMPTY, BatteryLevel.LOW)
+_TEMPERATURE_OK = (TemperatureLevel.LOW, TemperatureLevel.MEDIUM)
+
 
 @dataclass
 class GemConfig:
@@ -77,10 +86,14 @@ class GlobalEnergyManager(Module):
         fan: Optional[Fan] = None,
         config: Optional[GemConfig] = None,
         parent: Optional[Module] = None,
+        fast: bool = False,
     ) -> None:
         super().__init__(kernel, name, parent)
         self.battery_monitor = battery_monitor
         self.temperature_sensor = temperature_sensor
+        # Hot-path references (evaluate runs on every request/completion).
+        self._battery = battery_monitor.battery
+        self._thermal = temperature_sensor.model
         self.fan = fan
         self.config = config or GemConfig()
         self.enable_changed = self.event("enable_changed")
@@ -88,14 +101,41 @@ class GlobalEnergyManager(Module):
         self._priorities: Dict[str, int] = {}
         self._enabled: Dict[str, bool] = {}
         self._pending_energy: Dict[str, float] = {}
+        self._pending_version = 0
+        self._pending_cache: Dict[str, tuple] = {}
         # Static-priority structures derived from the registrations; rebuilt
         # lazily whenever a LEM is added (priorities never change afterwards).
+        # The enable decision under limited resources is a pure function of
+        # the best pending priority rank, so the maps are cached per rank
+        # (and the all-enabled/none-enabled maps are cached outright).
         self._rank_cache_dirty = True
         self._allowed_ranks: set = set()
-        self._higher_lems: Dict[str, list] = {}
+        self._min_pending_rank: int = _NO_RANK
+        self._enable_map_cache: Dict[int, tuple] = {}
+        self._all_enabled_map: Dict[str, bool] = {}
+        self._none_enabled_map: Dict[str, bool] = {}
+        self._all_names: tuple = ()
         self._evaluations = 0
         self._fan_activations = 0
-        self.add_thread(self._periodic_evaluation, name="evaluate")
+        # Inputs of the last full evaluation: the periodic safety net only
+        # needs a full pass when one of them changed (every code path that
+        # can change the decision — requests, completions, grants, level
+        # crossings — either evaluates explicitly or updates the rank).
+        self._last_inputs = None
+        self._fast = fast
+        if fast:
+            # Fast accuracy mode: the periodic safety net only has an effect
+            # when the decision inputs changed since the last evaluation, and
+            # the sole input that can change *without* triggering an
+            # immediate evaluation is the best pending rank (at grant time).
+            # So instead of polling every interval, a one-shot tick is
+            # scheduled for the next grid point — the very instant the exact
+            # periodic process would have acted on the change.
+            self._tick_event = self.event("safety_tick")
+            self._tick_event.add_callback(self._on_safety_tick)
+            self._tick_scheduled_fs = -1
+        else:
+            self.add_thread(self._periodic_evaluation, name="evaluate")
         self.add_method(
             self._on_sensor_change,
             sensitivity=[
@@ -118,8 +158,11 @@ class GlobalEnergyManager(Module):
             raise ConfigurationError("static priority must be >= 1")
         self._lems[ip_name] = lem
         self._priorities[ip_name] = static_priority
+        # Never mutate a cached (possibly shared) enable map.
+        self._enabled = dict(self._enabled)
         self._enabled[ip_name] = True
         self._pending_energy[ip_name] = 0.0
+        self._pending_version += 1
         self._rank_cache_dirty = True
         self.evaluate()
 
@@ -145,6 +188,11 @@ class GlobalEnergyManager(Module):
         if estimated_energy_j < 0.0:
             raise ConfigurationError("estimated energy must be non-negative")
         self._pending_energy[ip_name] = estimated_energy_j
+        self._pending_version += 1
+        # A new pending request can only improve the best pending rank.
+        rank = self._priorities[ip_name]
+        if rank < self._min_pending_rank:
+            self._min_pending_rank = rank
         self.evaluate()
 
     def clear_request(self, ip_name: str) -> None:
@@ -152,11 +200,73 @@ class GlobalEnergyManager(Module):
         if ip_name not in self._lems:
             raise ConfigurationError(f"IP {ip_name!r} is not registered with the GEM")
         self._pending_energy[ip_name] = 0.0
+        self._pending_version += 1
+        if self._priorities[ip_name] <= self._min_pending_rank:
+            self._refresh_min_pending_rank()
         self.evaluate()
 
+    def note_request_served(self, ip_name: str) -> None:
+        """The LEM reports that a pending request was granted.
+
+        Pure bookkeeping: the best pending rank is refreshed so the next
+        (periodic or event-driven) evaluation sees it, but — exactly like
+        before — no evaluation runs at grant time.
+        """
+        if self._priorities[ip_name] <= self._min_pending_rank:
+            self._refresh_min_pending_rank()
+            if self._fast:
+                self._schedule_safety_tick()
+
+    def _schedule_safety_tick(self) -> None:
+        """Arm a one-shot evaluation at the next periodic grid point."""
+        kernel = self.kernel
+        now_fs = kernel._now_fs
+        interval_fs = int(self.config.evaluation_interval)
+        next_fs = (now_fs // interval_fs + 1) * interval_fs
+        if self._tick_scheduled_fs != next_fs:
+            self._tick_scheduled_fs = next_fs
+            self._tick_event.notify_after(SimTime(next_fs - now_fs))
+
+    def _on_safety_tick(self) -> None:
+        """One fast-mode safety tick: a full pass only when an input changed.
+
+        Every code path that can change the decision inputs — requests,
+        completions, grants, sensor level changes — either evaluates
+        explicitly or refreshes the pending rank (scheduling this tick), so
+        an unchanged input triple means the full pass would reproduce the
+        current maps, and its force-low-power sweep would find nothing new
+        to park: the idle/busy flips and transition ends the sweep reacts to
+        always coincide with an explicit evaluation in this architecture.
+        """
+        self._tick_scheduled_fs = -1
+        inputs = (self._battery.level, self._thermal.level, self._min_pending_rank)
+        if inputs != self._last_inputs:
+            self.evaluate()
+
+    def _refresh_min_pending_rank(self) -> None:
+        """Recompute the best (lowest) priority rank with a pending request."""
+        best = _NO_RANK
+        priorities = self._priorities
+        for name, lem in self._lems.items():
+            if lem.has_pending_request:
+                rank = priorities[name]
+                if rank < best:
+                    best = rank
+        self._min_pending_rank = best
+
     def pending_energy_excluding(self, ip_name: str) -> float:
-        """Energy requested by every IP except ``ip_name`` (paper, section 1.4)."""
-        return sum(energy for name, energy in self._pending_energy.items() if name != ip_name)
+        """Energy requested by every IP except ``ip_name`` (paper, section 1.4).
+
+        Cached per pending-map version: the recomputation runs the identical
+        sum in the identical order, so the cached figure is bit-identical.
+        """
+        entry = self._pending_cache.get(ip_name)
+        version = self._pending_version
+        if entry is not None and entry[0] == version:
+            return entry[1]
+        value = sum(energy for name, energy in self._pending_energy.items() if name != ip_name)
+        self._pending_cache[ip_name] = (version, value)
+        return value
 
     # ------------------------------------------------------------------
     # Enable algorithm
@@ -183,72 +293,68 @@ class GlobalEnergyManager(Module):
     def evaluate(self) -> None:
         """Run the paper's enable algorithm once."""
         self._evaluations += 1
-        battery = self.battery_monitor.battery.level
-        temperature = self.temperature_sensor.model.level
-        temp_ok = temperature in (TemperatureLevel.LOW, TemperatureLevel.MEDIUM)
-        battery_ok = battery in (
-            BatteryLevel.MEDIUM,
-            BatteryLevel.HIGH,
-            BatteryLevel.FULL,
-            BatteryLevel.AC_POWER,
-        )
-        battery_poor = battery in (BatteryLevel.EMPTY, BatteryLevel.LOW)
-        if battery_ok and temp_ok:
-            new_enabled = {name: True for name in self._lems}
+        battery = self._battery.level
+        temperature = self._thermal.level
+        temp_ok = temperature in _TEMPERATURE_OK
+        if self._rank_cache_dirty:
+            self._rebuild_rank_cache()
+        if battery in _BATTERY_OK and temp_ok:
+            new_enabled = self._all_enabled_map
+            disabled: tuple = ()
             fan_on = False
-        elif battery_poor and temp_ok:
-            new_enabled = self._enable_high_priority()
+        elif battery in _BATTERY_POOR and temp_ok:
+            new_enabled, disabled = self._enable_high_priority()
             fan_on = False
         else:
-            new_enabled = {name: False for name in self._lems}
+            new_enabled = self._none_enabled_map
+            disabled = self._all_names
             fan_on = True
-        self._apply(new_enabled, fan_on)
+        self._last_inputs = (battery, temperature, self._min_pending_rank)
+        self._apply(new_enabled, disabled, fan_on)
 
     def _rebuild_rank_cache(self) -> None:
         ranked = sorted(self._priorities.items(), key=lambda item: item[1])
         self._allowed_ranks = {
             priority for _, priority in ranked[: self.config.high_priority_count]
         }
-        self._higher_lems = {
-            name: [
-                self._lems[other]
-                for other, other_priority in self._priorities.items()
-                if other != name and other_priority < priority
-            ]
-            for name, priority in self._priorities.items()
-        }
+        self._enable_map_cache = {}
+        self._all_enabled_map = {name: True for name in self._lems}
+        self._none_enabled_map = {name: False for name in self._lems}
+        self._all_names = tuple(self._lems)
         self._rank_cache_dirty = False
 
-    def _enable_high_priority(self) -> Dict[str, bool]:
-        if self._rank_cache_dirty:
-            self._rebuild_rank_cache()
-        allowed_ranks = self._allowed_ranks
-        higher_lems = self._higher_lems
-        enabled: Dict[str, bool] = {}
-        for name, priority in self._priorities.items():
-            if priority in allowed_ranks:
-                enabled[name] = True
-            else:
-                # Work-conserving reading of "enable IPs with high priority":
-                # a low-priority IP may proceed as long as no higher-priority
-                # IP is waiting for a grant (see the module docstring).
-                enabled[name] = not any(
-                    lem.has_pending_request for lem in higher_lems[name]
-                )
-        return enabled
+    def _enable_high_priority(self) -> tuple:
+        # Work-conserving reading of "enable IPs with high priority": a
+        # low-priority IP may proceed as long as no higher-priority IP is
+        # waiting for a grant (see the module docstring).  The decision is a
+        # pure function of the best pending rank, so the (map, disabled)
+        # pairs are cached per rank.
+        min_rank = self._min_pending_rank
+        cached = self._enable_map_cache.get(min_rank)
+        if cached is None:
+            allowed_ranks = self._allowed_ranks
+            enabled = {
+                name: priority in allowed_ranks or min_rank >= priority
+                for name, priority in self._priorities.items()
+            }
+            cached = (enabled, tuple(name for name, on in enabled.items() if not on))
+            self._enable_map_cache[min_rank] = cached
+        return cached
 
-    def _apply(self, new_enabled: Dict[str, bool], fan_on: bool) -> None:
-        changed = new_enabled != self._enabled
+    def _apply(self, new_enabled: Dict[str, bool], disabled: tuple, fan_on: bool) -> None:
+        changed = new_enabled is not self._enabled and new_enabled != self._enabled
         self._enabled = new_enabled
         if self.fan is not None:
             if fan_on and not self.fan.is_on:
                 self._fan_activations += 1
             self.fan.set_on(fan_on)
-        for name, enabled in new_enabled.items():
-            if not enabled:
-                lem = self._lems[name]
+        if disabled:
+            lems = self._lems
+            forced = self.config.forced_state
+            for name in disabled:
+                lem = lems[name]
                 if not lem.is_busy:
-                    lem.force_low_power(self.config.forced_state)
+                    lem.force_low_power(forced)
         if changed:
             self.enable_changed.notify()
 
@@ -256,6 +362,7 @@ class GlobalEnergyManager(Module):
     # Processes
     # ------------------------------------------------------------------
     def _periodic_evaluation(self):
+        # Exact mode: the unconditional legacy safety sweep, unchanged.
         while True:
             yield self.config.evaluation_interval
             self.evaluate()

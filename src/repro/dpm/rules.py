@@ -120,7 +120,9 @@ class RuleTable:
         RuleError
             If no rule matches (the table is not total for this input).
         """
-        key = (context.priority, context.battery, context.temperature)
+        # Dense integer key: enum __hash__ is Python-level and shows up in
+        # profiles; the packed _idx triple hashes at C speed.
+        key = (context.priority._idx * 64) + (context.battery._idx * 8) + context.temperature._idx
         index = self._first_match_cache.get(key)
         if index is None:
             for index, rule in enumerate(self._rules):

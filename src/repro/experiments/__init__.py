@@ -1,6 +1,12 @@
 """Experiment catalogue and runners reproducing the paper's evaluation."""
 
-from repro.experiments.runner import RunArtifacts, run_comparison, run_scenario
+from repro.experiments.runner import (
+    BaselineFigures,
+    RunArtifacts,
+    run_baseline,
+    run_comparison,
+    run_scenario,
+)
 from repro.experiments.scenarios import (
     Scenario,
     battery_condition,
@@ -20,6 +26,7 @@ from repro.experiments.table2 import (
 )
 
 __all__ = [
+    "BaselineFigures",
     "RunArtifacts",
     "Scenario",
     "battery_condition",
@@ -29,6 +36,7 @@ __all__ = [
     "policy_ablation",
     "predictor_ablation",
     "reproduce_table2",
+    "run_baseline",
     "run_comparison",
     "run_scenario",
     "scenario_a_workload",

@@ -18,11 +18,61 @@ from repro.dpm.controller import DpmSetup
 from repro.errors import ExperimentError
 from repro.experiments.scenarios import Scenario
 from repro.power.states import PowerState
+from repro.sim.accuracy import AccuracyMode
 from repro.sim.simtime import SimTime
 from repro.soc.soc import SoC, build_soc
 from repro.soc.task import TaskExecution
 
-__all__ = ["RunArtifacts", "run_scenario", "run_comparison"]
+__all__ = [
+    "BaselineFigures",
+    "RunArtifacts",
+    "run_baseline",
+    "run_comparison",
+    "run_scenario",
+]
+
+
+@dataclass
+class BaselineFigures:
+    """The figures of a baseline run that Table-2 metrics actually consume.
+
+    Unlike :class:`RunArtifacts` this is plain picklable data, so a campaign
+    can compute the baseline of a (scenario, accuracy-mode) cell once and
+    share it across every job of the grid.
+    """
+
+    scenario: str
+    setup: str
+    accuracy: str
+    total_energy_j: float
+    average_rise_c: float
+    peak_temperature_c: float
+    all_tasks_completed: bool
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view for JSON storage."""
+        return {
+            "scenario": self.scenario,
+            "setup": self.setup,
+            "accuracy": self.accuracy,
+            "total_energy_j": self.total_energy_j,
+            "average_rise_c": self.average_rise_c,
+            "peak_temperature_c": self.peak_temperature_c,
+            "all_tasks_completed": self.all_tasks_completed,
+        }
+
+    @staticmethod
+    def from_dict(value) -> "BaselineFigures":
+        """Rebuild from :meth:`as_dict` output."""
+        return BaselineFigures(
+            scenario=str(value["scenario"]),
+            setup=str(value["setup"]),
+            accuracy=str(value.get("accuracy", "exact")),
+            total_energy_j=float(value["total_energy_j"]),
+            average_rise_c=float(value["average_rise_c"]),
+            peak_temperature_c=float(value["peak_temperature_c"]),
+            all_tasks_completed=bool(value["all_tasks_completed"]),
+        )
 
 
 @dataclass
@@ -35,6 +85,7 @@ class RunArtifacts:
     end_time: SimTime
     wall_clock_s: float
     executions: List[TaskExecution] = field(default_factory=list)
+    accuracy: AccuracyMode = AccuracyMode.EXACT
 
     @property
     def total_energy_j(self) -> float:
@@ -85,12 +136,17 @@ class RunArtifacts:
         return summary
 
 
-def run_scenario(scenario: Scenario, setup: Optional[DpmSetup] = None) -> RunArtifacts:
+def run_scenario(
+    scenario: Scenario,
+    setup: Optional[DpmSetup] = None,
+    accuracy: "AccuracyMode | str | None" = None,
+) -> RunArtifacts:
     """Build and simulate ``scenario`` once under ``setup`` (default: paper DPM)."""
     setup = setup or DpmSetup.paper()
+    mode = AccuracyMode.from_name(accuracy)
     specs = scenario.build_specs()
     config = scenario.build_config()
-    soc = build_soc(specs, config, setup)
+    soc = build_soc(specs, config, setup, accuracy=mode)
     wall_start = _wallclock.perf_counter()
     end_time = soc.run_until_done(max_time=scenario.max_time)
     wall_elapsed = _wallclock.perf_counter() - wall_start
@@ -108,6 +164,27 @@ def run_scenario(scenario: Scenario, setup: Optional[DpmSetup] = None) -> RunArt
         end_time=end_time,
         wall_clock_s=wall_elapsed,
         executions=executions,
+        accuracy=mode,
+    )
+
+
+def run_baseline(
+    scenario: Scenario,
+    baseline: Optional[DpmSetup] = None,
+    accuracy: "AccuracyMode | str | None" = None,
+) -> BaselineFigures:
+    """Run the reference configuration once and reduce it to plain figures."""
+    baseline = baseline or DpmSetup.always_on()
+    mode = AccuracyMode.from_name(accuracy)
+    run = run_scenario(scenario, baseline, accuracy=mode)
+    return BaselineFigures(
+        scenario=scenario.name,
+        setup=baseline.name,
+        accuracy=mode.value,
+        total_energy_j=run.total_energy_j,
+        average_rise_c=run.average_rise_c,
+        peak_temperature_c=run.peak_temperature_c,
+        all_tasks_completed=run.all_tasks_completed,
     )
 
 
@@ -115,29 +192,38 @@ def run_comparison(
     scenario: Scenario,
     dpm: Optional[DpmSetup] = None,
     baseline: Optional[DpmSetup] = None,
+    accuracy: "AccuracyMode | str | None" = None,
+    baseline_figures: Optional[BaselineFigures] = None,
 ) -> ScenarioMetrics:
-    """Run ``scenario`` with the DPM and with the baseline; return Table-2 metrics."""
+    """Run ``scenario`` with the DPM and with the baseline; return Table-2 metrics.
+
+    ``baseline_figures`` (e.g. from a campaign's shared-baseline cache)
+    skips the baseline run entirely; runs are deterministic, so the shared
+    figures are identical to a freshly computed baseline.
+    """
     dpm = dpm or DpmSetup.paper()
     baseline = baseline or DpmSetup.always_on()
-    dpm_run = run_scenario(scenario, dpm)
-    baseline_run = run_scenario(scenario, baseline)
+    mode = AccuracyMode.from_name(accuracy)
+    dpm_run = run_scenario(scenario, dpm, accuracy=mode)
+    if baseline_figures is None:
+        baseline_figures = run_baseline(scenario, baseline, accuracy=mode)
     if not dpm_run.all_tasks_completed:
         raise ExperimentError(
             f"scenario {scenario.name!r}: the DPM run did not finish within the time budget"
         )
-    if not baseline_run.all_tasks_completed:
+    if not baseline_figures.all_tasks_completed:
         raise ExperimentError(
             f"scenario {scenario.name!r}: the baseline run did not finish within the time budget"
         )
     metrics = compare_runs(
         scenario=scenario.name,
         dpm_energy_j=dpm_run.total_energy_j,
-        baseline_energy_j=baseline_run.total_energy_j,
+        baseline_energy_j=baseline_figures.total_energy_j,
         dpm_rise_c=dpm_run.average_rise_c,
-        baseline_rise_c=baseline_run.average_rise_c,
+        baseline_rise_c=baseline_figures.average_rise_c,
         dpm_executions=dpm_run.executions,
         dpm_peak_c=dpm_run.peak_temperature_c,
-        baseline_peak_c=baseline_run.peak_temperature_c,
+        baseline_peak_c=baseline_figures.peak_temperature_c,
         simulated_time_s=dpm_run.end_time.seconds,
         wall_clock_s=dpm_run.wall_clock_s,
         kilocycles_per_second=dpm_run.kilocycles_per_second(),

@@ -106,6 +106,11 @@ class BreakEvenAnalyzer:
         self.candidate_states = list(candidate_states)
         self._entries: Dict[PowerState, BreakEvenEntry] = {}
         self._compute()
+        # Iteration order for the hot selection loop, avoiding per-call
+        # enum-keyed dict lookups.
+        self._candidate_entries = [self._entries[state] for state in self.candidate_states]
+        # The stay-put idle power is a constant of the analyzer.
+        self._reference_idle_power_w = self.characterization.idle_power_w(self.reference_on_state)
 
     def _compute(self) -> None:
         idle_power = self.characterization.idle_power_w(self.reference_on_state)
@@ -151,15 +156,13 @@ class BreakEvenAnalyzer:
         Returns ``None`` when no low-power state breaks even, in which case
         the LEM keeps the IP in its current ON state.
         """
-        idle_power = self.characterization.idle_power_w(self.reference_on_state)
         best_state: Optional[PowerState] = None
         best_saving = 0.0
         # The stay-put cost is the same for every entry, so hoist it and let
         # the entries evaluate the shared saving formula from it.
         predicted_fs = int(predicted_idle)
-        stay = idle_power * predicted_idle.seconds
-        for state in self.candidate_states:
-            entry = self._entries[state]
+        stay = self._reference_idle_power_w * predicted_idle.seconds
+        for entry in self._candidate_entries:
             if entry.state.is_off and not allow_off:
                 continue
             break_even = entry.break_even

@@ -96,6 +96,12 @@ class OperatingPointTable:
         if missing:
             raise PowerModelError(f"missing operating points for {[str(s) for s in missing]}")
         self._validate_monotonic()
+        # Dense per-state view: point() lookups sit on the task hot path and
+        # PowerState._idx indexes a plain list at C speed (enum __hash__ is
+        # a Python-level call).
+        self._points_by_idx: list = [None] * 16
+        for state, point in self._points.items():
+            self._points_by_idx[state._idx] = point
 
     def _validate_monotonic(self) -> None:
         ordered = [self._points[state] for state in ON_STATES]
@@ -112,10 +118,10 @@ class OperatingPointTable:
     # -- access ---------------------------------------------------------------
     def point(self, state: PowerState) -> OperatingPoint:
         """The operating point of ``state`` (must be an ON state)."""
-        try:
-            return self._points[state]
-        except KeyError:
-            raise PowerModelError(f"no operating point for state {state}") from None
+        found = self._points_by_idx[state._idx]
+        if found is None:
+            raise PowerModelError(f"no operating point for state {state}")
+        return found
 
     def __getitem__(self, state: PowerState) -> OperatingPoint:
         return self.point(state)

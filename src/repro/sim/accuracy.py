@@ -1,0 +1,66 @@
+"""Simulation accuracy modes.
+
+The library supports two accuracy contracts, selectable per run:
+
+* :attr:`AccuracyMode.EXACT` (the default) — every figure is bit-identical
+  to the reference implementation: the battery/thermal samplers step once per
+  sampling window, power-state machines mirror their status on signals every
+  time, and the golden-metrics tests pin the results hex-float for hex-float.
+
+* :attr:`AccuracyMode.FAST` — the simulation is *observationally* identical
+  (every DPM decision, task grant time and power-state transition happens at
+  the same simulated femtosecond), but the bookkeeping arithmetic is
+  reassociated for speed: sampler windows are replayed lazily in closed form
+  (one decay/SoC step per run of constant-power windows instead of one per
+  sample), PSM background energy integrates over coalesced intervals, status
+  mirror signals are only written while someone watches them, and waiter-less
+  monitor processes are skipped entirely.  Floating-point figures may differ
+  from ``exact`` within a documented relative tolerance:
+
+  ====================================  =========
+  figure                                tolerance
+  ====================================  =========
+  energies (J), energy-derived ratios   1e-9
+  temperatures (C), state of charge     1e-6
+  event times, task/transition counts   exact
+  ====================================  =========
+
+  ``tests/experiments/test_accuracy_modes.py`` enforces these bands over all
+  six paper scenarios.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["AccuracyMode"]
+
+
+class AccuracyMode(Enum):
+    """Accuracy contract of a simulation run."""
+
+    EXACT = "exact"
+    FAST = "fast"
+
+    @property
+    def is_fast(self) -> bool:
+        """True for the toleranced fast-math mode."""
+        return self is AccuracyMode.FAST
+
+    def __str__(self) -> str:
+        return self.value
+
+    @staticmethod
+    def from_name(name: "AccuracyMode | str | None") -> "AccuracyMode":
+        """Coerce a mode name (``"exact"``/``"fast"``, case-insensitive)."""
+        if name is None:
+            return AccuracyMode.EXACT
+        if isinstance(name, AccuracyMode):
+            return name
+        try:
+            return AccuracyMode(str(name).lower())
+        except ValueError:
+            valid = ", ".join(mode.value for mode in AccuracyMode)
+            raise ValueError(
+                f"unknown accuracy mode {name!r} (expected one of: {valid})"
+            ) from None

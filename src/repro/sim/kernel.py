@@ -135,7 +135,12 @@ class Kernel:
     @property
     def now(self) -> SimTime:
         """Current simulated time."""
-        return self._now
+        now = self._now
+        if now is None:
+            # Lazily materialised: most time advances (pure timed waits) are
+            # never observed through the SimTime view.
+            now = self._now = SimTime(self._now_fs)
+        return now
 
     @property
     def now_fs(self) -> int:
@@ -260,7 +265,7 @@ class Kernel:
                     # Starvation before the requested end time: report the
                     # requested end so repeated run() calls stay monotonic.
                     self._set_now(end_fs)
-            return self._now
+            return self.now
         finally:
             self._running = False
 
@@ -269,7 +274,7 @@ class Kernel:
     # ------------------------------------------------------------------
     def _set_now(self, now_fs: int) -> None:
         self._now_fs = now_fs
-        self._now = SimTime(now_fs)
+        self._now = None  # SimTime view rebuilt on demand (see Kernel.now)
 
     def _advance_to(self, next_fs: int) -> None:
         if next_fs < self._now_fs:  # pragma: no cover - defensive

@@ -104,6 +104,9 @@ class FunctionalIP(Module):
         self.done_event = self.event("done")
         self.busy_signal = self.signal("busy", False)
         self._tasks_executed = 0
+        # Fast accuracy mode (inherited from the PSM): the busy mirror is
+        # only written while watched; exact mode keeps unconditional writes.
+        self._fast = psm._fast
         self.add_thread(self._run, name="traffic")
 
     # -- wiring -----------------------------------------------------------
@@ -187,10 +190,18 @@ class FunctionalIP(Module):
         duration = self.characterization.execution_time(state, task.cycles)
         energy = self.characterization.task_energy_j(state, task.cycles, task.instruction_class)
         self.psm.set_busy(True)
-        self.busy_signal.write(True)
+        if self._fast:
+            # Pure status mirror: in fast mode it is only written while
+            # someone watches, skipping two update-phase visits per task.
+            self.busy_signal.write_if_watched(True)
+        else:
+            self.busy_signal.write(True)
         yield duration
         self.psm.set_busy(False)
-        self.busy_signal.write(False)
+        if self._fast:
+            self.busy_signal.write_if_watched(False)
+        else:
+            self.busy_signal.write(False)
         self.energy_account.add_energy(energy, EnergyCategory.ACTIVE)
         record.completion_time = self.kernel.now
         record.power_state = state

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Optional
 
+from repro._enumtools import dense_index
 from repro.errors import WorkloadError
 from repro.power.characterization import InstructionClass
 from repro.power.states import PowerState
@@ -36,20 +37,17 @@ class TaskPriority(Enum):
     @property
     def rank(self) -> int:
         """Ordering helper: LOW=0 ... VERY_HIGH=3."""
-        order = {
-            TaskPriority.LOW: 0,
-            TaskPriority.MEDIUM: 1,
-            TaskPriority.HIGH: 2,
-            TaskPriority.VERY_HIGH: 3,
-        }
-        return order[self]
+        return self._idx
 
     def at_least(self, other: "TaskPriority") -> bool:
         """True when this priority is at least as urgent as ``other``."""
-        return self.rank >= other.rank
+        return self._idx >= other._idx
 
     def __str__(self) -> str:
-        return self.value
+        return self._str
+
+
+dense_index(TaskPriority)  # _idx doubles as rank; _str for hot-path __str__
 
 
 @dataclass(frozen=True)

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
+from repro._enumtools import dense_index
 from repro.errors import ThermalError
 
 __all__ = ["TemperatureLevel", "TemperatureThresholds"]
@@ -25,19 +26,17 @@ class TemperatureLevel(Enum):
     @property
     def rank(self) -> int:
         """Ordering helper: LOW=0, MEDIUM=1, HIGH=2."""
-        order = {
-            TemperatureLevel.LOW: 0,
-            TemperatureLevel.MEDIUM: 1,
-            TemperatureLevel.HIGH: 2,
-        }
-        return order[self]
+        return self._idx
 
     def at_most(self, other: "TemperatureLevel") -> bool:
         """True when this level is at most as hot as ``other``."""
-        return self.rank <= other.rank
+        return self._idx <= other._idx
 
     def __str__(self) -> str:
-        return self.value
+        return self._str
+
+
+dense_index(TemperatureLevel)  # _idx doubles as rank; _str for hot-path __str__
 
 
 @dataclass(frozen=True)

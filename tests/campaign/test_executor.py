@@ -204,3 +204,93 @@ class TestAggregation:
         assert "s1/paper/seed=1" in text
         assert "Failures" in text
         assert "boom" in text
+
+
+#: ScenarioMetrics keys that vary run to run (host timing), excluded when
+#: comparing shared-baseline results against standalone ones.
+_VOLATILE_METRICS = ("wall_clock_s", "kilocycles_per_second")
+
+
+def _stable_metrics(record):
+    return {k: v for k, v in record["metrics"].items() if k not in _VOLATILE_METRICS}
+
+
+class TestSharedBaselines:
+    def test_baseline_runs_once_per_scenario_cell(self, tmp_path):
+        # 2 setups x 2 seeds over one scenario: 4 jobs but only 2 distinct
+        # (scenario, baseline, seed, accuracy) cells.
+        summary = run_campaign(small_spec(), tmp_path / "camp", workers=1)
+        assert summary.total_jobs == 4
+        assert summary.baseline_runs == 2
+        assert summary.baseline_reused == 0
+        store = ResultStore(tmp_path / "camp")
+        assert len(store.baseline_keys()) == 2
+
+    def test_shared_baseline_metrics_identical_to_standalone(self, tmp_path):
+        spec = small_spec()
+        summary = run_campaign(spec, tmp_path / "camp", workers=1)
+        store = ResultStore(tmp_path / "camp")
+        for job in spec.jobs():
+            standalone = execute_job(job.to_dict())
+            stored = store.get(job.job_id)
+            assert _stable_metrics(standalone) == _stable_metrics(stored)
+
+    def test_resume_reuses_stored_baselines(self, tmp_path):
+        spec = small_spec()
+        run_campaign(spec, tmp_path / "camp", workers=1)
+        # Drop one job record: the resume must re-run only that job and take
+        # its baseline from the store instead of re-simulating it.
+        store = ResultStore(tmp_path / "camp")
+        victim = spec.jobs()[0]
+        (store.records_dir / f"{victim.job_id}.json").unlink()
+        summary = run_campaign(spec, tmp_path / "camp", workers=1, resume=True)
+        assert summary.executed == 1
+        assert summary.baseline_runs == 0
+        assert summary.baseline_reused >= 1
+
+    def test_baseline_key_ignores_dpm_setup(self):
+        jobs = small_spec().jobs()
+        by_cell = {}
+        for job in jobs:
+            by_cell.setdefault((job.scenario["name"], job.seed), set()).add(job.baseline_key)
+        for keys in by_cell.values():
+            assert len(keys) == 1  # setups share the cell's baseline
+
+    def test_pool_workers_share_baselines(self, tmp_path):
+        summary = run_campaign(small_spec(), tmp_path / "camp", workers=2)
+        assert summary.ok == 4
+        assert summary.baseline_runs == 2
+
+
+class TestCampaignAccuracy:
+    def test_accuracy_default_keeps_job_ids_stable(self):
+        # Pre-accuracy job descriptions must hash identically, so existing
+        # stores keep working with --resume.
+        job = small_spec().jobs()[0]
+        assert "accuracy" not in job.to_dict()
+
+    def test_fast_jobs_hash_differently_and_carry_the_mode(self, tmp_path):
+        exact_spec = small_spec()
+        fast_spec = small_spec(accuracy="fast")
+        assert fast_spec.jobs()[0].job_id != exact_spec.jobs()[0].job_id
+        summary = run_campaign(fast_spec, tmp_path / "camp", workers=1)
+        assert summary.ok == 4
+        record = summary.records[0]
+        assert record["accuracy"] == "fast"
+        assert record["job"]["accuracy"] == "fast"
+
+    def test_fast_campaign_matches_exact_within_tolerance(self, tmp_path):
+        exact = run_campaign(small_spec(), tmp_path / "e", workers=1)
+        fast = run_campaign(small_spec(accuracy="fast"), tmp_path / "f", workers=1)
+        by_label_exact = {r["label"]: r for r in exact.records}
+        for record in fast.records:
+            reference = by_label_exact[record["label"]]
+            for key in ("dpm_energy_j", "baseline_energy_j"):
+                a = reference["metrics"][key]
+                b = record["metrics"][key]
+                assert abs(a - b) <= 1e-9 * max(abs(a), abs(b))
+            assert record["metrics"]["tasks_executed"] == reference["metrics"]["tasks_executed"]
+
+    def test_unknown_accuracy_rejected(self):
+        with pytest.raises(CampaignError):
+            small_spec(accuracy="sloppy")

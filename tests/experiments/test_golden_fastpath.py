@@ -1,10 +1,11 @@
 """Golden-result tests for the event-driven fast path.
 
 The kernel/time refactor (virtual clocks, integer-femtosecond hot path) is a
-pure speed change: scenario A1 and the four-IP GEM scenario (B) must produce
-*bit-identical* ``ScenarioMetrics`` to the goldens recorded before the
-refactor, and adding a materialised (cycle-accurate) reference clock to a
-run must not change any energy/timing figure either.
+pure speed change: all six paper scenarios must produce *bit-identical*
+``ScenarioMetrics`` in the default (exact) accuracy mode to the recorded
+goldens (A1 and B date from before the refactor; A2-A4 and C pin the same
+contract for the remaining rows), and adding a materialised (cycle-accurate)
+reference clock to a run must not change any energy/timing figure either.
 """
 
 import json
@@ -39,7 +40,7 @@ def _load_golden():
         return json.load(handle)
 
 
-@pytest.mark.parametrize("scenario_name", ["A1", "B"])
+@pytest.mark.parametrize("scenario_name", ["A1", "A2", "A3", "A4", "B", "C"])
 def test_scenario_metrics_bit_identical_to_pre_refactor_goldens(scenario_name):
     golden = _load_golden()[scenario_name]
     metrics = run_comparison(scenario_by_name(scenario_name), DpmSetup.paper())
