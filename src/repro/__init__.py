@@ -20,10 +20,16 @@ The package is organised in layers:
   delay overhead) and report rendering.
 * :mod:`repro.experiments` — the scenario catalogue (A1–A4, B, C) and the
   runners that regenerate the paper's Table 2 and simulation-speed figure.
+* :mod:`repro.platform` — declarative platform specifications: user-defined
+  SoCs (IPs, workloads, operating points, PSMs, battery/thermal, GEM,
+  policy) as validated, JSON/TOML-serializable :class:`PlatformSpec` trees,
+  a fluent builder and a named registry in which the six paper scenarios
+  are thin built-in specs.
 * :mod:`repro.campaign` — parallel experiment campaigns: declarative
-  scenario x setup x seed grids (JSON/TOML or Python), a multiprocessing
-  executor with per-job timeouts and failure capture, a content-addressed
-  result store with resume, and aggregation back into the analysis layer.
+  scenario x setup x seed grids (JSON/TOML or Python, including platform
+  specs by file or inline), a multiprocessing executor with per-job
+  timeouts and failure capture, a content-addressed result store with
+  resume, and aggregation back into the analysis layer.
 """
 
 __version__ = "1.0.0"

@@ -11,12 +11,20 @@ grids (including *new scenarios*) can be defined without touching
       "scenarios": ["A1", "B",
                     {"kind": "single_ip", "name": "hot-low",
                      "battery": "low", "temperature": "high",
-                     "task_count": 24}],
+                     "task_count": 24},
+                    {"kind": "platform", "file": "specs/my_soc.json"}],
       "setups": ["paper", "greedy-sleep",
                  {"name": "fixed-timeout", "timeout_ms": 2.0}],
       "seeds": [1, 2, 3],
       "overrides": [{}, {"task_count": 12}]
     }
+
+Scenario entries may be paper row names, registered platform names, inline
+``single_ip``/``multi_ip`` dictionaries, or ``platform`` entries referencing
+a :class:`~repro.platform.spec.PlatformSpec` (inline under ``"spec"`` or via
+a ``"file"`` path).  Platform entries are normalized to the *canonical
+inline spec*, so their job hashes depend only on the platform's content —
+moving or reformatting the spec file does not invalidate stored results.
 
 :meth:`CampaignSpec.jobs` expands the grid into :class:`JobSpec` objects.
 Every job is a *pure data* description (plain dictionaries), picklable for
@@ -109,21 +117,33 @@ _SCENARIO_FIELDS: Dict[str, Dict[str, Any]] = {
 def normalize_scenario(value: Union[str, Mapping[str, Any]]) -> Dict[str, Any]:
     """Turn a scenario entry of a spec into a validated plain dictionary.
 
-    Accepts either one of the paper's row names (``"A1"`` .. ``"C"``) or a
-    dictionary with a ``kind`` of ``"single_ip"`` / ``"multi_ip"``.
+    Accepts one of the paper's row names (``"A1"`` .. ``"C"``), the name of
+    any registered platform, or a dictionary with a ``kind`` of
+    ``"single_ip"`` / ``"multi_ip"`` / ``"platform"``.  Platform entries
+    reference a spec file (``"file"``) or carry the spec inline (``"spec"``);
+    either way the normalized form inlines the *canonical* spec dictionary,
+    so the job hash depends on the platform's content, never on file paths
+    or formatting.
     """
     if isinstance(value, str):
-        try:
+        if value.upper() in PAPER_SCENARIO_DEFS:
             return dict(PAPER_SCENARIO_DEFS[value.upper()])
-        except KeyError:
-            raise CampaignError(
-                f"unknown paper scenario {value!r} (expected one of "
-                f"{', '.join(sorted(PAPER_SCENARIO_DEFS))})"
-            ) from None
+        from repro.platform.registry import has_platform, platform_by_name
+
+        if has_platform(value):
+            spec = platform_by_name(value)
+            return {"kind": "platform", "name": spec.name, "spec": spec.to_dict()}
+        raise CampaignError(
+            f"unknown scenario {value!r} (expected one of "
+            f"{', '.join(sorted(PAPER_SCENARIO_DEFS))}, or a registered "
+            "platform name)"
+        )
     if not isinstance(value, Mapping):
         raise CampaignError(f"scenario entries must be names or mappings, got {value!r}")
     scenario = dict(value)
     kind = scenario.get("kind")
+    if kind == "platform":
+        return _normalize_platform_scenario(scenario)
     if kind == "paper":
         merged = normalize_scenario(str(scenario.get("name", "")))
         for key, item in scenario.items():
@@ -151,6 +171,54 @@ def normalize_scenario(value: Union[str, Mapping[str, Any]]) -> Dict[str, Any]:
     return scenario
 
 
+def _anchor_platform_file(entry: Any, base_dir: str) -> Any:
+    """Resolve a platform entry's relative ``file`` against ``base_dir``."""
+    if (
+        isinstance(entry, Mapping)
+        and entry.get("kind") == "platform"
+        and isinstance(entry.get("file"), str)
+        and not os.path.isabs(entry["file"])
+    ):
+        anchored = dict(entry)
+        anchored["file"] = os.path.join(base_dir, anchored["file"])
+        return anchored
+    return entry
+
+
+def _normalize_platform_scenario(scenario: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate and canonicalise a ``kind: "platform"`` scenario entry."""
+    from repro.errors import PlatformError
+    from repro.platform.spec import PlatformSpec
+
+    unknown = set(scenario) - {"kind", "name", "spec", "file", "max_time_ms"}
+    if unknown:
+        raise CampaignError(
+            f"platform scenario entry has unknown fields: {sorted(unknown)} "
+            "(allowed: kind, name, spec, file, max_time_ms)"
+        )
+    spec_dict = scenario.get("spec")
+    if spec_dict is None:
+        path = scenario.get("file")
+        if not path:
+            raise CampaignError(
+                "a platform scenario entry needs an inline 'spec' or a 'file' path"
+            )
+        from repro.platform.serialize import load_spec_dict
+
+        try:
+            spec_dict = load_spec_dict(path)
+        except (PlatformError, OSError) as error:
+            raise CampaignError(f"cannot load platform spec {path!r}: {error}") from None
+    if "max_time_ms" in scenario:
+        spec_dict = dict(spec_dict)
+        spec_dict["max_time_ms"] = float(scenario["max_time_ms"])
+    try:
+        spec = PlatformSpec.from_dict(spec_dict)
+    except PlatformError as error:
+        raise CampaignError(f"invalid platform scenario: {error}") from None
+    return {"kind": "platform", "name": spec.name, "spec": spec.to_dict()}
+
+
 def build_scenario(scenario: Mapping[str, Any], seed: Optional[int] = None) -> Scenario:
     """Instantiate a :class:`Scenario` from its declarative description.
 
@@ -161,6 +229,11 @@ def build_scenario(scenario: Mapping[str, Any], seed: Optional[int] = None) -> S
 
     description = normalize_scenario(scenario)
     kind = description["kind"]
+    if kind == "platform":
+        from repro.platform.build import to_scenario
+        from repro.platform.spec import PlatformSpec
+
+        return to_scenario(PlatformSpec.from_dict(description["spec"]), seed=seed)
     paper_row = PAPER_TABLE2.get(description["name"])
     if kind == "single_ip":
         built = single_ip_scenario(
@@ -359,8 +432,20 @@ class CampaignSpec:
         for scenario in self.scenarios:
             for override in self.overrides:
                 merged = dict(scenario)
+                # Platform scenarios are self-contained specs: only the time
+                # budget can be overridden from the grid, other scenario
+                # fields (task_count, ...) silently skip them so mixed grids
+                # can still share one override list.
+                if scenario.get("kind") == "platform":
+                    applicable = {"max_time_ms"}
+                else:
+                    applicable = None
                 merged.update(
-                    {key: value for key, value in override.items() if key != "kind"}
+                    {
+                        key: value
+                        for key, value in override.items()
+                        if key != "kind" and (applicable is None or key in applicable)
+                    }
                 )
                 merged = normalize_scenario(merged)
                 for setup in self.setups:
@@ -428,23 +513,26 @@ class CampaignSpec:
 
     @staticmethod
     def from_file(path: Union[str, os.PathLike]) -> "CampaignSpec":
-        """Load a spec from a ``.json`` or ``.toml`` file."""
-        text_path = str(path)
-        if text_path.endswith(".toml"):
-            try:
-                import tomllib
-            except ImportError:  # pragma: no cover - Python < 3.11
-                raise CampaignError(
-                    "TOML campaign specs need Python >= 3.11 (tomllib); "
-                    "use a JSON spec instead"
-                ) from None
-            with open(text_path, "rb") as handle:
-                data = tomllib.load(handle)
-        elif text_path.endswith(".json"):
-            with open(text_path, "r", encoding="utf-8") as handle:
-                data = json.load(handle)
-        else:
-            raise CampaignError(
-                f"unsupported campaign spec file {text_path!r} (expected .json or .toml)"
-            )
+        """Load a spec from a ``.json`` or ``.toml`` file.
+
+        Relative ``file`` references inside platform scenario entries are
+        resolved against the spec file's own directory, so a campaign and
+        the platform specs it sweeps can travel together regardless of the
+        process working directory.
+        """
+        from repro.errors import PlatformError
+        from repro.platform.serialize import load_spec_dict
+
+        try:
+            data = load_spec_dict(path)
+        except PlatformError as error:
+            raise CampaignError(str(error)) from None
+        if isinstance(data, Mapping):
+            base_dir = os.path.dirname(os.path.abspath(str(path)))
+            scenarios = data.get("scenarios")
+            if isinstance(scenarios, list):
+                data = dict(data)
+                data["scenarios"] = [
+                    _anchor_platform_file(entry, base_dir) for entry in scenarios
+                ]
         return CampaignSpec.from_dict(data)

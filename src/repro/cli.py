@@ -20,6 +20,9 @@ Subcommands
 ``campaign``
     Run, inspect or report a parallel experiment campaign described by a
     JSON/TOML spec file (see :mod:`repro.campaign`).
+``platform``
+    Validate, inspect, list or run declarative platform specs — user-defined
+    SoCs as JSON/TOML files (see :mod:`repro.platform`).
 """
 
 from __future__ import annotations
@@ -88,8 +91,13 @@ def build_parser() -> argparse.ArgumentParser:
     add_accuracy_flag(table2)
 
     scenario = subparsers.add_parser("scenario", help="run one scenario in detail")
-    scenario.add_argument("name", help="scenario id (A1..A4, B, C)")
-    scenario.add_argument("--setup", choices=sorted(_SETUPS), default="paper")
+    scenario.add_argument(
+        "name", help="scenario id (A1..A4, B, C) or a registered platform name"
+    )
+    scenario.add_argument(
+        "--setup", choices=sorted(_SETUPS), default=None,
+        help="DPM setup to evaluate (default: the platform's policy, else 'paper')",
+    )
     add_accuracy_flag(scenario)
 
     rules = subparsers.add_parser("rules", help="print or query the Table-1 rules")
@@ -158,6 +166,50 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", default=None, help="output file (default: stdout)"
     )
 
+    platform = subparsers.add_parser(
+        "platform", help="validate/show/run declarative platform specs"
+    )
+    platform_sub = platform.add_subparsers(dest="platform_command")
+
+    def add_spec_source(sub, required: bool = True) -> None:
+        group = sub.add_mutually_exclusive_group(required=required)
+        group.add_argument(
+            "--spec", default=None, metavar="FILE",
+            help="platform spec file (.json or .toml)",
+        )
+        group.add_argument(
+            "--name", default=None,
+            help="name of a registered platform (A1..C or custom)",
+        )
+
+    platform_validate = platform_sub.add_parser(
+        "validate", help="validate spec files (platform or campaign; exit 1 on errors)"
+    )
+    platform_validate.add_argument(
+        "specs", nargs="+", metavar="FILE", help="spec files (.json or .toml)"
+    )
+
+    platform_show = platform_sub.add_parser(
+        "show", help="print a human-readable summary of one platform"
+    )
+    add_spec_source(platform_show)
+    platform_show.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the canonical JSON spec instead of the summary",
+    )
+
+    platform_run = platform_sub.add_parser(
+        "run", help="run one platform end-to-end (DPM vs baseline) and print metrics"
+    )
+    add_spec_source(platform_run)
+    platform_run.add_argument(
+        "--setup", choices=sorted(_SETUPS), default=None,
+        help="DPM setup to evaluate (default: the spec's policy, else 'paper')",
+    )
+    add_accuracy_flag(platform_run)
+
+    platform_sub.add_parser("list", help="list the registered platform names")
+
     return parser
 
 
@@ -175,14 +227,29 @@ def _cmd_table2(args) -> int:
 
 
 def _cmd_scenario(args) -> int:
-    from repro.experiments.runner import run_comparison, run_scenario
+    from repro.experiments.runner import run_comparison
     from repro.experiments.scenarios import scenario_by_name
 
     scenario = scenario_by_name(args.name)
-    setup = _SETUPS[args.setup]()
+    # None defers to the platform's own policy (when the scenario is
+    # platform-backed and declares one), exactly like `platform run`.
+    setup = None if args.setup is None else _SETUPS[args.setup]()
     metrics = run_comparison(scenario, dpm=setup, accuracy=args.accuracy)
+    setup_name = args.setup or _default_setup_name(scenario)
+    _print_comparison(scenario, setup_name, args.accuracy, metrics)
+    return 0
+
+
+def _default_setup_name(scenario) -> str:
+    spec = getattr(scenario, "spec", None)
+    if spec is not None and spec.policy is not None:
+        return spec.policy.name
+    return "paper"
+
+
+def _print_comparison(scenario, setup_name: str, accuracy: str, metrics) -> None:
     print(f"Scenario {scenario.name}: {scenario.description}")
-    print(f"DPM setup: {setup.name} (accuracy: {args.accuracy})\n")
+    print(f"DPM setup: {setup_name} (accuracy: {accuracy})\n")
     rows = [
         ["energy saving (%)", f"{metrics.energy_saving_pct:.1f}"],
         ["temperature reduction (%)", f"{metrics.temperature_reduction_pct:.1f}"],
@@ -201,7 +268,6 @@ def _cmd_scenario(args) -> int:
             for name, stats in sorted(metrics.per_ip.items())
         ]
         print(format_table(["IP", "tasks", "energy (mJ)", "delay (%)", "transitions"], ip_rows))
-    return 0
 
 
 def _cmd_rules(args) -> int:
@@ -377,6 +443,123 @@ def _cmd_campaign_inner(args) -> int:
     return 0
 
 
+def _cmd_platform(args) -> int:
+    from repro.errors import ReproError
+
+    try:
+        return _cmd_platform_inner(args)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _load_platform_arg(args):
+    """Resolve the --spec/--name pair into a validated PlatformSpec."""
+    from repro.platform import load_platform, platform_by_name
+
+    if args.spec is not None:
+        return load_platform(args.spec)
+    return platform_by_name(args.name)
+
+
+def _cmd_platform_inner(args) -> int:
+    if args.platform_command is None:
+        print("error: platform needs a subcommand (validate, show, run or list)",
+              file=sys.stderr)
+        return 2
+    if args.platform_command == "validate":
+        return _cmd_platform_validate(args)
+    if args.platform_command == "list":
+        from repro.platform import PAPER_PLATFORM_NAMES, platform_by_name, platform_names
+
+        rows = []
+        for name in platform_names():
+            spec = platform_by_name(name)
+            origin = "built-in" if name in PAPER_PLATFORM_NAMES else "registered"
+            rows.append([name, str(len(spec.ips)), origin, spec.description])
+        print(format_table(["platform", "IPs", "origin", "description"], rows))
+        return 0
+    spec = _load_platform_arg(args)
+    if args.platform_command == "show":
+        if args.as_json:
+            from repro.platform import spec_to_json
+
+            print(spec_to_json(spec), end="")
+        else:
+            _print_platform_summary(spec)
+        return 0
+    # run
+    from repro.experiments.runner import run_comparison
+    from repro.platform import to_scenario
+
+    scenario = to_scenario(spec)
+    setup = None if args.setup is None else _SETUPS[args.setup]()
+    metrics = run_comparison(scenario, dpm=setup, accuracy=args.accuracy)
+    setup_name = args.setup or _default_setup_name(scenario)
+    _print_comparison(scenario, setup_name, args.accuracy, metrics)
+    return 0
+
+
+def _cmd_platform_validate(args) -> int:
+    """Validate each file as a platform spec or (auto-detected) campaign spec."""
+    from repro.campaign import CampaignSpec
+    from repro.errors import ReproError
+    from repro.platform import PlatformSpec, load_spec_dict
+
+    failures = 0
+    for path in args.specs:
+        try:
+            data = load_spec_dict(path)
+            if "scenarios" in data or "setups" in data:
+                spec = CampaignSpec.from_dict(data)
+                print(f"ok: {path} (campaign {spec.name!r}, {len(spec.jobs())} jobs)")
+            else:
+                spec = PlatformSpec.from_dict(data)
+                print(f"ok: {path} (platform {spec.name!r}, {len(spec.ips)} IPs)")
+        except (ReproError, OSError) as error:
+            failures += 1
+            print(f"error: {path}: {error}", file=sys.stderr)
+    if failures:
+        print(f"{failures} of {len(args.specs)} spec file(s) failed validation",
+              file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _print_platform_summary(spec) -> None:
+    print(f"Platform {spec.name}: {spec.description or '(no description)'}")
+    battery = spec.battery.to_dict() or {"condition": "(library default)"}
+    thermal = spec.thermal.to_dict() or {"condition": "(library default)"}
+    facts = [
+        ["IPs", str(len(spec.ips))],
+        ["GEM", "enabled" if spec.gem.enabled else "disabled"],
+        ["battery", ", ".join(f"{k}={v}" for k, v in battery.items())],
+        ["thermal", ", ".join(f"{k}={v}" for k, v in thermal.items())],
+        ["policy", spec.policy.name if spec.policy else "(caller's choice)"],
+        ["max time (ms)", f"{spec.max_time_ms:g}"],
+        ["sample interval (us)", f"{spec.sample_interval_us:g}"],
+    ]
+    print(format_table(["property", "value"], facts))
+    rows = []
+    for ip in spec.ips:
+        workload = ip.workload
+        detail = workload.kind
+        if workload.task_count is not None:
+            detail += f" x{workload.task_count}"
+        if workload.seed is not None:
+            detail += f" (seed {workload.seed})"
+        custom = []
+        if ip.has_custom_characterization():
+            custom.append("characterization")
+        if ip.psm is not None:
+            custom.append("psm")
+        rows.append(
+            [ip.name, str(ip.static_priority), detail, ip.initial_state,
+             ", ".join(custom) or "-"]
+        )
+    print()
+    print(format_table(["IP", "priority", "workload", "initial state", "custom"], rows))
+
+
 _COMMANDS = {
     "table2": _cmd_table2,
     "scenario": _cmd_scenario,
@@ -386,17 +569,27 @@ _COMMANDS = {
     "breakeven": _cmd_breakeven,
     "report": _cmd_report,
     "campaign": _cmd_campaign,
+    "platform": _cmd_platform,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro.errors import ReproError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command is None:
         parser.print_help()
         return 0
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        # Library errors are user errors at the CLI boundary (unknown
+        # scenario name, invalid spec, ...): print them cleanly instead of
+        # a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

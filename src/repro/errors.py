@@ -67,5 +67,14 @@ class ExperimentError(ReproError):
     """An experiment/scenario definition cannot be run."""
 
 
+class PlatformError(ReproError):
+    """A declarative platform specification is malformed or inconsistent.
+
+    The message always carries the dotted path of the offending field
+    (``ips[2].workload.kind: ...``) so spec authors can fix their file
+    without reading the library source.
+    """
+
+
 class CampaignError(ReproError):
     """A campaign specification, store or execution request is invalid."""

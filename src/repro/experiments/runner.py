@@ -5,6 +5,13 @@ returns the raw artefacts (SoC, executions, wall-clock figures).
 :func:`run_comparison` runs the scenario twice — once with the DPM under
 study and once with the paper's reference configuration (maximum frequency,
 never sleep) — and reduces the two runs to the Table-2 metrics.
+
+Every runner accepts, in place of a :class:`Scenario`, a
+:class:`~repro.platform.spec.PlatformSpec` (built on the fly) or a scenario
+name (resolved through the named platform registry).  For platform-backed
+scenarios a ``None`` setup defers to the spec's own
+:class:`~repro.platform.spec.PolicyDef` (when present) and the spec's GEM
+tunables are applied to whichever setup runs.
 """
 
 from __future__ import annotations
@@ -136,13 +143,35 @@ class RunArtifacts:
         return summary
 
 
+def _as_scenario(scenario) -> Scenario:
+    """Accept a :class:`Scenario`, a platform spec, or a scenario name."""
+    if isinstance(scenario, Scenario):
+        return scenario
+    from repro.platform.build import to_scenario
+    from repro.platform.spec import PlatformSpec
+
+    if isinstance(scenario, PlatformSpec):
+        return to_scenario(scenario)
+    if isinstance(scenario, str):
+        from repro.experiments.scenarios import scenario_by_name
+
+        return scenario_by_name(scenario)
+    raise ExperimentError(
+        f"cannot run {scenario!r}: expected a Scenario, a PlatformSpec or a "
+        "scenario/platform name"
+    )
+
+
 def run_scenario(
-    scenario: Scenario,
+    scenario: "Scenario | str",
     setup: Optional[DpmSetup] = None,
     accuracy: "AccuracyMode | str | None" = None,
 ) -> RunArtifacts:
     """Build and simulate ``scenario`` once under ``setup`` (default: paper DPM)."""
-    setup = setup or DpmSetup.paper()
+    from repro.platform.build import platform_setup
+
+    scenario = _as_scenario(scenario)
+    setup = platform_setup(scenario, setup, DpmSetup.paper, use_policy=True)
     mode = AccuracyMode.from_name(accuracy)
     specs = scenario.build_specs()
     config = scenario.build_config()
@@ -169,12 +198,15 @@ def run_scenario(
 
 
 def run_baseline(
-    scenario: Scenario,
+    scenario: "Scenario | str",
     baseline: Optional[DpmSetup] = None,
     accuracy: "AccuracyMode | str | None" = None,
 ) -> BaselineFigures:
     """Run the reference configuration once and reduce it to plain figures."""
-    baseline = baseline or DpmSetup.always_on()
+    from repro.platform.build import platform_setup
+
+    scenario = _as_scenario(scenario)
+    baseline = platform_setup(scenario, baseline, DpmSetup.always_on)
     mode = AccuracyMode.from_name(accuracy)
     run = run_scenario(scenario, baseline, accuracy=mode)
     return BaselineFigures(
@@ -189,7 +221,7 @@ def run_baseline(
 
 
 def run_comparison(
-    scenario: Scenario,
+    scenario: "Scenario | str",
     dpm: Optional[DpmSetup] = None,
     baseline: Optional[DpmSetup] = None,
     accuracy: "AccuracyMode | str | None" = None,
@@ -201,8 +233,11 @@ def run_comparison(
     skips the baseline run entirely; runs are deterministic, so the shared
     figures are identical to a freshly computed baseline.
     """
-    dpm = dpm or DpmSetup.paper()
-    baseline = baseline or DpmSetup.always_on()
+    from repro.platform.build import platform_setup
+
+    scenario = _as_scenario(scenario)
+    dpm = platform_setup(scenario, dpm, DpmSetup.paper, use_policy=True)
+    baseline = platform_setup(scenario, baseline, DpmSetup.always_on)
     mode = AccuracyMode.from_name(accuracy)
     dpm_run = run_scenario(scenario, dpm, accuracy=mode)
     if baseline_figures is None:

@@ -19,6 +19,14 @@ Scenario objects only *describe* the experiment (factories for the IP specs
 and the SoC configuration); the :mod:`repro.experiments.runner` builds and
 simulates them, once with the paper's DPM and once with the always-on
 baseline, to produce one row of Table 2.
+
+The catalogue itself now lives in the named platform registry
+(:mod:`repro.platform.registry`): the six rows are thin declarative
+:class:`~repro.platform.spec.PlatformSpec` objects, and
+:func:`scenario_by_name` resolves any registered platform — paper row or
+user-defined — by name.  The legacy factory helpers below
+(:func:`single_ip_scenario`, :func:`multi_ip_scenario`) remain for callers
+that build scenarios programmatically.
 """
 
 from __future__ import annotations
@@ -226,22 +234,28 @@ def multi_ip_scenario(
 
 
 def paper_scenarios() -> List[Scenario]:
-    """The six scenarios of the paper's Table 2, in order."""
-    from repro.analysis.report import PAPER_TABLE2
+    """The six scenarios of the paper's Table 2, in order.
 
-    return [
-        single_ip_scenario("A1", "full", "low", paper_row=PAPER_TABLE2["A1"]),
-        single_ip_scenario("A2", "low", "low", paper_row=PAPER_TABLE2["A2"]),
-        single_ip_scenario("A3", "full", "high", paper_row=PAPER_TABLE2["A3"]),
-        single_ip_scenario("A4", "low", "high", paper_row=PAPER_TABLE2["A4"]),
-        multi_ip_scenario("B", "low", "low", high_activity_ips=(1, 2), paper_row=PAPER_TABLE2["B"]),
-        multi_ip_scenario("C", "low", "low", high_activity_ips=(3, 4), paper_row=PAPER_TABLE2["C"]),
-    ]
+    Since the :mod:`repro.platform` migration these are built from the thin
+    built-in :class:`~repro.platform.spec.PlatformSpec` objects of the named
+    platform registry; the goldens of ``tests/golden/`` pin that this path
+    is bit-identical to the original hardcoded factories.
+    """
+    from repro.platform.build import to_scenario
+    from repro.platform.registry import paper_platforms
+
+    return [to_scenario(spec) for spec in paper_platforms()]
 
 
 def scenario_by_name(name: str) -> Scenario:
-    """Look up one of the paper's scenarios by its Table-2 identifier."""
-    for scenario in paper_scenarios():
-        if scenario.name.lower() == name.lower():
-            return scenario
-    raise ExperimentError(f"unknown scenario {name!r} (expected A1..A4, B or C)")
+    """Look up a scenario by name: a Table-2 row or any registered platform."""
+    from repro.platform.build import to_scenario
+    from repro.platform.registry import has_platform, platform_by_name, platform_names
+
+    if has_platform(name):
+        return to_scenario(platform_by_name(name))
+    raise ExperimentError(
+        f"unknown scenario {name!r}; valid names: {', '.join(platform_names())}. "
+        "Custom platforms can be registered with repro.platform.register_platform "
+        "or loaded from a spec file with repro.platform.load_platform."
+    )

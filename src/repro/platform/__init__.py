@@ -1,0 +1,99 @@
+"""Declarative platform specifications: user-defined SoCs as data.
+
+This layer makes the *platform itself* a first-class, serializable object:
+
+* :mod:`repro.platform.spec` — the :class:`PlatformSpec` dataclass tree
+  (:class:`IpDef`, :class:`OperatingPointDef`, :class:`PsmDef`,
+  :class:`PolicyDef`, :class:`WorkloadDef`, :class:`BatteryDef`,
+  :class:`ThermalDef`, :class:`GemDef`) with schema validation whose errors
+  name the offending path;
+* :mod:`repro.platform.serialize` — lossless JSON/TOML round-trip;
+* :mod:`repro.platform.build` — the bridge to runnable objects
+  (:func:`to_scenario` and the per-section builders);
+* :mod:`repro.platform.builder` — the fluent :class:`PlatformBuilder`;
+* :mod:`repro.platform.registry` — named platforms; the six paper rows are
+  registered as thin built-in specs that reproduce the pinned goldens
+  bit-identically.
+
+After this layer, a new scenario is a file::
+
+    repro-dpm platform run --spec my_soc.json
+"""
+
+from repro.platform.build import (
+    PlatformScenario,
+    build_dpm_setup,
+    build_ip_spec,
+    build_soc_config,
+    build_workload,
+    platform_setup,
+    to_scenario,
+)
+from repro.platform.builder import PlatformBuilder
+from repro.platform.registry import (
+    PAPER_PLATFORM_NAMES,
+    has_platform,
+    paper_platforms,
+    platform_by_name,
+    platform_names,
+    register_platform,
+    unregister_platform,
+)
+from repro.platform.serialize import (
+    load_platform,
+    load_spec_dict,
+    save_platform,
+    spec_from_json,
+    spec_from_toml,
+    spec_to_json,
+    spec_to_toml,
+)
+from repro.platform.spec import (
+    SPEC_FORMAT,
+    BatteryDef,
+    GemDef,
+    IpDef,
+    OperatingPointDef,
+    PlatformSpec,
+    PolicyDef,
+    PsmDef,
+    ThermalDef,
+    TransitionDef,
+    WorkloadDef,
+)
+
+__all__ = [
+    "PAPER_PLATFORM_NAMES",
+    "SPEC_FORMAT",
+    "BatteryDef",
+    "GemDef",
+    "IpDef",
+    "OperatingPointDef",
+    "PlatformBuilder",
+    "PlatformScenario",
+    "PlatformSpec",
+    "PolicyDef",
+    "PsmDef",
+    "ThermalDef",
+    "TransitionDef",
+    "WorkloadDef",
+    "build_dpm_setup",
+    "build_ip_spec",
+    "build_soc_config",
+    "build_workload",
+    "has_platform",
+    "load_platform",
+    "load_spec_dict",
+    "paper_platforms",
+    "platform_by_name",
+    "platform_names",
+    "platform_setup",
+    "register_platform",
+    "save_platform",
+    "spec_from_json",
+    "spec_from_toml",
+    "spec_to_json",
+    "spec_to_toml",
+    "to_scenario",
+    "unregister_platform",
+]

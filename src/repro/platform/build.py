@@ -1,0 +1,456 @@
+"""Bridge from a :class:`~repro.platform.spec.PlatformSpec` to runnable objects.
+
+The spec tree is pure data; this module turns it into the library's value
+objects (:class:`~repro.soc.soc.IpSpec`, :class:`~repro.soc.soc.SocConfig`,
+:class:`~repro.power.characterization.PowerCharacterization`,
+:class:`~repro.power.transitions.TransitionTable`,
+:class:`~repro.dpm.controller.DpmSetup`) and finally into a
+:class:`PlatformScenario` — a :class:`~repro.experiments.scenarios.Scenario`
+that remembers its spec, so the runners can honour the platform's policy and
+GEM tunables.
+
+Migration contract: a spec that leaves every optional knob unset builds the
+exact same objects the legacy scenario factories built — that is what lets
+the six paper scenarios become thin built-in specs (see
+:mod:`repro.platform.registry`) while the pinned goldens stay bit-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.battery.model import BatteryConfig
+from repro.dpm.controller import DpmSetup
+from repro.dpm.gem import GemConfig
+from repro.dpm.predictor import (
+    AdaptivePredictor,
+    ExponentialAveragePredictor,
+    FixedPredictor,
+    LastValuePredictor,
+)
+from repro.errors import PlatformError
+from repro.experiments.scenarios import (
+    Scenario,
+    battery_condition,
+    scenario_a_workload,
+    thermal_condition,
+)
+from repro.platform.spec import BatteryDef, IpDef, PlatformSpec, PolicyDef, ThermalDef, WorkloadDef
+from repro.power.characterization import (
+    DEFAULT_ACTIVITY,
+    DEFAULT_RESIDUAL_FRACTION,
+    InstructionClass,
+    PowerCharacterization,
+    default_characterization,
+)
+from repro.power.operating_point import OperatingPoint, OperatingPointTable
+from repro.power.states import PowerState
+from repro.power.transitions import TransitionCost, TransitionTable, default_transition_table
+from repro.sim.simtime import ms, us
+from repro.soc.soc import IpSpec, SocConfig
+from repro.soc.task import TaskPriority
+from repro.soc.workload import (
+    Workload,
+    bursty_workload,
+    high_activity_workload,
+    low_activity_workload,
+    periodic_workload,
+    random_workload,
+)
+from repro.thermal.model import ThermalConfig
+
+__all__ = [
+    "PlatformScenario",
+    "build_battery_config",
+    "build_characterization",
+    "build_dpm_setup",
+    "build_ip_spec",
+    "build_soc_config",
+    "build_thermal_config",
+    "build_transitions",
+    "build_workload",
+    "platform_setup",
+    "to_scenario",
+]
+
+_PREDICTOR_FACTORIES = {
+    "fixed": FixedPredictor,
+    "last-value": LastValuePredictor,
+    "ewma": ExponentialAveragePredictor,
+    "adaptive": AdaptivePredictor,
+}
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+def build_workload(wdef: WorkloadDef, seed_override: Optional[int] = None) -> Workload:
+    """Instantiate the workload described by ``wdef``.
+
+    ``seed_override`` replaces the definition's own seed (campaign grids
+    sweep seeds this way); it is ignored by ``explicit`` workloads, which
+    have no randomness.  Fields left unset fall through to the generator's
+    own defaults, so the mapping stays in one place.
+    """
+    seed = seed_override if seed_override is not None else wdef.seed
+    kwargs: Dict[str, object] = {}
+
+    def put(key: str, value) -> None:
+        if value is not None:
+            kwargs[key] = value
+
+    kind = wdef.kind
+    if kind == "explicit":
+        return _post_transform(
+            wdef, Workload.from_dicts(wdef.items or [], name=wdef.name or "workload")
+        )
+    if kind == "scenario_a":
+        put("seed", seed)
+        put("task_count", wdef.task_count)
+        workload = scenario_a_workload(**kwargs)
+        if wdef.name:
+            workload.name = wdef.name
+        return _post_transform(wdef, workload)
+
+    put("name", wdef.name)
+    put("seed", seed)
+    if wdef.priorities is not None:
+        kwargs["priorities"] = tuple(TaskPriority(p) for p in wdef.priorities)
+    if kind == "periodic":
+        kwargs.pop("seed", None)  # deterministic generator
+        put("task_count", wdef.task_count)
+        put("cycles", wdef.cycles)
+        kwargs.pop("priorities", None)
+        if wdef.idle_us is not None:
+            kwargs["idle"] = us(wdef.idle_us)
+        if wdef.priority is not None:
+            kwargs["priority"] = TaskPriority(wdef.priority)
+        if wdef.instruction_class is not None:
+            kwargs["instruction_class"] = InstructionClass(wdef.instruction_class)
+        workload = periodic_workload(**kwargs)
+    elif kind == "random":
+        put("task_count", wdef.task_count)
+        if wdef.cycles_min is not None:
+            kwargs["cycles_range"] = (wdef.cycles_min, wdef.cycles_max)
+        if wdef.idle_min_us is not None:
+            kwargs["idle_range"] = (us(wdef.idle_min_us), us(wdef.idle_max_us))
+        workload = random_workload(**kwargs)
+    elif kind == "high_activity":
+        put("task_count", wdef.task_count)
+        workload = high_activity_workload(**kwargs)
+    elif kind == "low_activity":
+        put("task_count", wdef.task_count)
+        workload = low_activity_workload(**kwargs)
+    elif kind == "bursty":
+        put("burst_count", wdef.burst_count)
+        put("tasks_per_burst", wdef.tasks_per_burst)
+        if wdef.cycles_min is not None:
+            kwargs["cycles_range"] = (wdef.cycles_min, wdef.cycles_max)
+        if wdef.intra_burst_idle_us is not None:
+            kwargs["intra_burst_idle"] = us(wdef.intra_burst_idle_us)
+        if wdef.inter_burst_idle_us is not None:
+            kwargs["inter_burst_idle"] = us(wdef.inter_burst_idle_us)
+        workload = bursty_workload(**kwargs)
+    else:  # pragma: no cover - validate() rejects unknown kinds first
+        raise PlatformError(f"unknown workload kind {kind!r}")
+    return _post_transform(wdef, workload)
+
+
+def _post_transform(wdef: WorkloadDef, workload: Workload) -> Workload:
+    if wdef.force_priority is not None:
+        workload = workload.with_priority(TaskPriority(wdef.force_priority))
+    if wdef.idle_scale is not None:
+        workload = workload.scaled_idle(wdef.idle_scale)
+    return workload
+
+
+# ----------------------------------------------------------------------
+# Characterisation and transitions
+# ----------------------------------------------------------------------
+def build_characterization(ipdef: IpDef) -> Optional[PowerCharacterization]:
+    """The IP's characterisation, or ``None`` for the library default.
+
+    Returning ``None`` (rather than ``default_characterization()``) keeps
+    the spec path byte-identical to the legacy builders, which also pass
+    ``None`` through :class:`~repro.soc.soc.IpSpec`.
+    """
+    if not ipdef.has_custom_characterization():
+        return None
+    if ipdef.operating_points is not None:
+        table = OperatingPointTable(
+            OperatingPoint(
+                state=PowerState(p.state),
+                voltage_v=p.voltage_v,
+                frequency_hz=p.frequency_hz,
+            )
+            for p in ipdef.operating_points
+        )
+    else:
+        from repro.power.operating_point import default_operating_points
+
+        table = default_operating_points(
+            max_frequency_hz=ipdef.max_frequency_hz or 200e6,
+            max_voltage_v=ipdef.max_voltage_v or 1.2,
+        )
+    activity = dict(DEFAULT_ACTIVITY)
+    if ipdef.activity_by_class:
+        activity.update(
+            {InstructionClass(key): value for key, value in ipdef.activity_by_class.items()}
+        )
+    residual = dict(DEFAULT_RESIDUAL_FRACTION)
+    if ipdef.residual_fraction:
+        residual.update(
+            {PowerState(key): value for key, value in ipdef.residual_fraction.items()}
+        )
+    kwargs: Dict[str, object] = {
+        "operating_points": table,
+        "activity_by_class": activity,
+        "residual_fraction": residual,
+    }
+    if ipdef.effective_capacitance_f is not None:
+        kwargs["effective_capacitance_f"] = ipdef.effective_capacitance_f
+    if ipdef.idle_activity is not None:
+        kwargs["idle_activity"] = ipdef.idle_activity
+    if ipdef.leakage_coefficient is not None:
+        kwargs["leakage_coefficient"] = ipdef.leakage_coefficient
+    return PowerCharacterization(**kwargs)
+
+
+def build_transitions(
+    ipdef: IpDef, characterization: Optional[PowerCharacterization]
+) -> Optional[TransitionTable]:
+    """The IP's transition table, or ``None`` for the generated default."""
+    psm = ipdef.psm
+    if psm is None:
+        return None
+    reference = characterization or default_characterization()
+    kwargs: Dict[str, object] = {
+        "reference_power_w": reference.active_power_w(PowerState.ON1),
+    }
+    if psm.dvfs_latency_us is not None:
+        kwargs["dvfs_latency"] = us(psm.dvfs_latency_us)
+    if psm.entry_latency_us:
+        kwargs["sleep_entry_latency"] = {
+            PowerState(state): us(value) for state, value in psm.entry_latency_us.items()
+        }
+    if psm.wakeup_latency_us:
+        kwargs["wakeup_latency"] = {
+            PowerState(state): us(value) for state, value in psm.wakeup_latency_us.items()
+        }
+    table = default_transition_table(**kwargs)
+    if not psm.transitions:
+        return table
+    costs: Dict[Tuple[PowerState, PowerState], TransitionCost] = {
+        pair: table.cost(*pair) for pair in table.transitions
+    }
+    for entry in psm.transitions:
+        pair = (PowerState(entry.source), PowerState(entry.target))
+        if entry.allowed:
+            costs[pair] = TransitionCost(entry.energy_j, us(entry.latency_us))
+        else:
+            costs.pop(pair, None)
+    return TransitionTable(costs)
+
+
+def build_ip_spec(ipdef: IpDef, index: int = 0, seed: Optional[int] = None) -> IpSpec:
+    """One :class:`IpSpec` from its definition.
+
+    A grid ``seed`` re-seeds the IP's generator workload with
+    ``seed + index`` (the IP's position in the platform), so sweeping a seed
+    re-rolls every IP while keeping them decorrelated.
+    """
+    characterization = build_characterization(ipdef)
+    return IpSpec(
+        name=ipdef.name,
+        workload=build_workload(
+            ipdef.workload, None if seed is None else seed + index
+        ),
+        static_priority=ipdef.static_priority,
+        characterization=characterization,
+        transitions=build_transitions(ipdef, characterization),
+        initial_state=PowerState(ipdef.initial_state),
+        bus_words_per_task=ipdef.bus_words_per_task,
+    )
+
+
+# ----------------------------------------------------------------------
+# SoC-level configuration
+# ----------------------------------------------------------------------
+def build_battery_config(bdef: BatteryDef) -> BatteryConfig:
+    """Battery configuration: preset (if any) plus explicit overrides."""
+    base = battery_condition(bdef.condition) if bdef.condition else BatteryConfig()
+    overrides: Dict[str, object] = {}
+    if bdef.capacity_j is not None:
+        overrides["capacity_j"] = bdef.capacity_j
+    if bdef.state_of_charge is not None:
+        overrides["initial_state_of_charge"] = bdef.state_of_charge
+    if bdef.nominal_power_w is not None:
+        overrides["nominal_power_w"] = bdef.nominal_power_w
+    if bdef.peukert_exponent is not None:
+        overrides["peukert_exponent"] = bdef.peukert_exponent
+    if bdef.self_discharge_w is not None:
+        overrides["self_discharge_w"] = bdef.self_discharge_w
+    if bdef.on_ac_power is not None:
+        overrides["on_ac_power"] = bdef.on_ac_power
+    return dataclasses.replace(base, **overrides) if overrides else base
+
+
+def build_thermal_config(tdef: ThermalDef, ip_count: int) -> ThermalConfig:
+    """Thermal configuration: preset (scaled to ``ip_count``) plus overrides."""
+    base = (
+        thermal_condition(tdef.condition, ip_count=ip_count)
+        if tdef.condition
+        else ThermalConfig()
+    )
+    overrides: Dict[str, object] = {}
+    if tdef.ambient_c is not None:
+        overrides["ambient_c"] = tdef.ambient_c
+    if tdef.initial_c is not None:
+        overrides["initial_c"] = tdef.initial_c
+    if tdef.resistance_c_per_w is not None:
+        overrides["thermal_resistance_c_per_w"] = tdef.resistance_c_per_w
+    if tdef.capacitance_j_per_c is not None:
+        overrides["thermal_capacitance_j_per_c"] = tdef.capacitance_j_per_c
+    if tdef.fan_resistance_scale is not None:
+        overrides["fan_resistance_scale"] = tdef.fan_resistance_scale
+    return dataclasses.replace(base, **overrides) if overrides else base
+
+
+def build_soc_config(spec: PlatformSpec) -> SocConfig:
+    """The :class:`SocConfig` of one run of ``spec``."""
+    return SocConfig(
+        name=f"soc_{spec.name}",
+        battery=build_battery_config(spec.battery),
+        thermal=build_thermal_config(spec.thermal, ip_count=len(spec.ips)),
+        sample_interval=us(spec.sample_interval_us),
+        use_gem=spec.gem.enabled,
+        with_fan=spec.with_fan,
+        fan_power_w=spec.fan_power_w,
+        with_bus=spec.with_bus,
+        bus_words_per_second=spec.bus_words_per_second,
+    )
+
+
+# ----------------------------------------------------------------------
+# Policy / setup
+# ----------------------------------------------------------------------
+def build_dpm_setup(policy: PolicyDef) -> DpmSetup:
+    """A :class:`DpmSetup` from the platform's :class:`PolicyDef`."""
+    policy.validate("platform.policy")
+    allow_off = True if policy.allow_off is None else policy.allow_off
+    if policy.name == "paper":
+        predictor = (
+            _PREDICTOR_FACTORIES[policy.predictor] if policy.predictor else None
+        )
+        setup = DpmSetup.paper(allow_off=allow_off, predictor_factory=predictor)
+    elif policy.name == "always-on":
+        setup = DpmSetup.always_on()
+    elif policy.name == "greedy-sleep":
+        setup = DpmSetup.greedy_sleep(allow_off=allow_off)
+    elif policy.name == "oracle":
+        setup = DpmSetup.oracle()
+    else:  # fixed-timeout (validate() restricts the vocabulary)
+        setup = DpmSetup.fixed_timeout(ms(policy.timeout_ms or 2.0))
+    lem_overrides: Dict[str, object] = {}
+    if policy.allow_off is not None:
+        lem_overrides["allow_off"] = policy.allow_off
+    if policy.reevaluation_interval_us is not None:
+        lem_overrides["reevaluation_interval"] = us(policy.reevaluation_interval_us)
+    if policy.defer_state is not None:
+        lem_overrides["defer_state"] = PowerState(policy.defer_state)
+    if policy.estimation_state is not None:
+        lem_overrides["estimation_state"] = PowerState(policy.estimation_state)
+    if lem_overrides:
+        setup.lem_config = dataclasses.replace(setup.lem_config, **lem_overrides)
+    return setup
+
+
+def _apply_gem_overrides(spec: PlatformSpec, setup: DpmSetup) -> DpmSetup:
+    if not spec.gem.has_overrides():
+        return setup
+    overrides: Dict[str, object] = {}
+    if spec.gem.high_priority_count is not None:
+        overrides["high_priority_count"] = spec.gem.high_priority_count
+    if spec.gem.evaluation_interval_us is not None:
+        overrides["evaluation_interval"] = us(spec.gem.evaluation_interval_us)
+    if spec.gem.forced_state is not None:
+        overrides["forced_state"] = PowerState(spec.gem.forced_state)
+    return dataclasses.replace(
+        setup, gem_config=dataclasses.replace(setup.gem_config, **overrides)
+    )
+
+
+def platform_setup(
+    scenario: Scenario,
+    setup: Optional[DpmSetup],
+    default: Callable[[], DpmSetup],
+    use_policy: bool = False,
+) -> DpmSetup:
+    """Resolve the setup for one run of ``scenario``.
+
+    For a :class:`PlatformScenario`, ``None`` resolves to the platform's own
+    :class:`PolicyDef` (when ``use_policy`` and the spec has one) before the
+    ``default`` factory, and the spec's GEM tunables are applied to whatever
+    setup ends up running; plain scenarios just get the default.
+    """
+    spec = getattr(scenario, "spec", None)
+    if setup is None:
+        if use_policy and spec is not None and spec.policy is not None:
+            setup = build_dpm_setup(spec.policy)
+        else:
+            setup = default()
+    if spec is not None:
+        setup = _apply_gem_overrides(spec, setup)
+    return setup
+
+
+# ----------------------------------------------------------------------
+# The scenario bridge
+# ----------------------------------------------------------------------
+@dataclass
+class PlatformScenario(Scenario):
+    """A scenario built from a spec; remembers it for policy/GEM resolution."""
+
+    spec: Optional[PlatformSpec] = None
+
+
+def to_scenario(spec: PlatformSpec, seed: Optional[int] = None) -> PlatformScenario:
+    """Turn a validated spec into a runnable scenario.
+
+    ``seed``, when given, re-seeds every generator workload with
+    ``seed + ip_index`` (explicit workloads are untouched) — the hook
+    campaign grids use to sweep seeds over platform files.
+    """
+    spec.validate()
+    return PlatformScenario(
+        name=spec.name,
+        description=spec.description
+        or f"platform {spec.name!r} ({len(spec.ips)} IPs"
+        f"{', GEM' if spec.gem.enabled else ''})",
+        ip_specs_factory=lambda: [
+            build_ip_spec(ipdef, index, seed) for index, ipdef in enumerate(spec.ips)
+        ],
+        soc_config_factory=lambda: build_soc_config(spec),
+        max_time=ms(spec.max_time_ms),
+        paper_row=_paper_row_for(spec),
+        spec=spec,
+    )
+
+
+def _paper_row_for(spec: PlatformSpec):
+    """The paper's Table-2 reference row, but only for the genuine article.
+
+    A user spec that merely *names itself* "A1" (loaded from a file, never
+    registered) must not inherit the paper's printed figures as its
+    reference — only a spec equal to the built-in platform does.
+    """
+    from repro.platform.registry import PAPER_PLATFORM_NAMES, platform_by_name
+
+    name = spec.name.upper()
+    if name not in PAPER_PLATFORM_NAMES or spec != platform_by_name(name):
+        return None
+    from repro.analysis.report import PAPER_TABLE2
+
+    return PAPER_TABLE2.get(name)

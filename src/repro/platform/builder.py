@@ -1,0 +1,188 @@
+"""Fluent construction of :class:`~repro.platform.spec.PlatformSpec` trees.
+
+Writing the dataclass tree by hand is fine for files; in Python the builder
+reads better and validates at the end::
+
+    spec = (
+        PlatformBuilder("octa")
+        .describe("asymmetric 8-IP platform")
+        .battery("low")
+        .thermal("high")
+        .gem(high_priority_count=3)
+        .ip("big0", workload={"kind": "high_activity", "task_count": 12, "seed": 7},
+            priority=1, max_frequency_hz=400e6)
+        .ip("little0", workload={"kind": "low_activity", "task_count": 12, "seed": 8},
+            priority=5, max_frequency_hz=100e6, max_voltage_v=0.9)
+        .build()
+    )
+
+Every method returns the builder, :meth:`build` returns the validated spec
+(raising :class:`~repro.errors.PlatformError` with a dotted path on
+mistakes) and :meth:`register` additionally publishes it in the named
+platform registry.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Union
+
+from repro.errors import PlatformError
+from repro.platform.spec import (
+    BatteryDef,
+    GemDef,
+    IpDef,
+    OperatingPointDef,
+    PlatformSpec,
+    PolicyDef,
+    PsmDef,
+    ThermalDef,
+    WorkloadDef,
+)
+
+__all__ = ["PlatformBuilder"]
+
+
+def _as_workload(value: Union[WorkloadDef, Mapping[str, Any], None], ip: str) -> WorkloadDef:
+    if value is None:
+        raise PlatformError(f"ip {ip!r}: a workload is required (WorkloadDef or mapping)")
+    if isinstance(value, WorkloadDef):
+        return value
+    if isinstance(value, Mapping):
+        return WorkloadDef.from_dict(value, f"ip {ip!r}: workload")
+    raise PlatformError(
+        f"ip {ip!r}: workload must be a WorkloadDef or a mapping, got {type(value).__name__}"
+    )
+
+
+def _as_psm(value: Union[PsmDef, Mapping[str, Any], None], ip: str) -> Optional[PsmDef]:
+    if value is None or isinstance(value, PsmDef):
+        return value
+    if isinstance(value, Mapping):
+        return PsmDef.from_dict(value, f"ip {ip!r}: psm")
+    raise PlatformError(
+        f"ip {ip!r}: psm must be a PsmDef or a mapping, got {type(value).__name__}"
+    )
+
+
+class PlatformBuilder:
+    """Accumulates a :class:`PlatformSpec`, one fluent call at a time."""
+
+    def __init__(self, name: str) -> None:
+        self._spec = PlatformSpec(name=name)
+
+    # -- metadata -------------------------------------------------------
+    def describe(self, description: str) -> "PlatformBuilder":
+        """Set the human-readable description."""
+        self._spec.description = description
+        return self
+
+    # -- SoC-level sections --------------------------------------------
+    def battery(self, condition: Optional[str] = None, **fields: Any) -> "PlatformBuilder":
+        """Battery condition preset and/or explicit :class:`BatteryDef` fields."""
+        self._spec.battery = BatteryDef(condition=condition, **fields)
+        return self
+
+    def thermal(self, condition: Optional[str] = None, **fields: Any) -> "PlatformBuilder":
+        """Thermal condition preset and/or explicit :class:`ThermalDef` fields."""
+        self._spec.thermal = ThermalDef(condition=condition, **fields)
+        return self
+
+    def gem(self, **fields: Any) -> "PlatformBuilder":
+        """Enable the Global Energy Manager (optionally tuning it)."""
+        self._spec.gem = GemDef(enabled=True, **fields)
+        return self
+
+    def no_gem(self) -> "PlatformBuilder":
+        """Run the IPs under independent LEMs only (the default)."""
+        self._spec.gem = GemDef(enabled=False)
+        return self
+
+    def policy(self, name: str = "paper", **fields: Any) -> "PlatformBuilder":
+        """Set the platform's default power-management policy."""
+        self._spec.policy = PolicyDef(name=name, **fields)
+        return self
+
+    def max_time_ms(self, value: float) -> "PlatformBuilder":
+        """Simulation time budget in milliseconds."""
+        self._spec.max_time_ms = float(value)
+        return self
+
+    def sample_interval_us(self, value: float) -> "PlatformBuilder":
+        """Battery/temperature sampling interval in microseconds."""
+        self._spec.sample_interval_us = float(value)
+        return self
+
+    def fan(self, power_w: float = 0.05) -> "PlatformBuilder":
+        """Fit the supplementary fan (the GEM's worst-case action)."""
+        self._spec.with_fan = True
+        self._spec.fan_power_w = float(power_w)
+        return self
+
+    def no_fan(self) -> "PlatformBuilder":
+        """Build the platform without a fan."""
+        self._spec.with_fan = False
+        return self
+
+    def bus(self, words_per_second: float = 50e6) -> "PlatformBuilder":
+        """Fit the shared bus."""
+        self._spec.with_bus = True
+        self._spec.bus_words_per_second = float(words_per_second)
+        return self
+
+    # -- IPs ------------------------------------------------------------
+    def ip(
+        self,
+        name: str,
+        workload: Union[WorkloadDef, Mapping[str, Any], None] = None,
+        priority: int = 1,
+        initial_state: str = "ON1",
+        bus_words_per_task: int = 0,
+        operating_points: Optional[Any] = None,
+        psm: Union[PsmDef, Mapping[str, Any], None] = None,
+        **characterization: Any,
+    ) -> "PlatformBuilder":
+        """Add one IP block.
+
+        ``workload`` is a :class:`WorkloadDef` or its mapping form;
+        ``operating_points`` a list of :class:`OperatingPointDef` (or
+        mappings); any remaining keyword goes to the characterisation knobs
+        of :class:`IpDef` (``max_frequency_hz``, ``idle_activity``, ...).
+        """
+        points = None
+        if operating_points is not None:
+            points = [
+                point
+                if isinstance(point, OperatingPointDef)
+                else OperatingPointDef.from_dict(
+                    point, f"ip {name!r}: operating_points[{index}]"
+                )
+                for index, point in enumerate(operating_points)
+            ]
+        try:
+            ipdef = IpDef(
+                name=name,
+                workload=_as_workload(workload, name),
+                static_priority=priority,
+                initial_state=initial_state,
+                bus_words_per_task=bus_words_per_task,
+                operating_points=points,
+                psm=_as_psm(psm, name),
+                **characterization,
+            )
+        except TypeError as error:
+            raise PlatformError(f"ip {name!r}: {error}") from None
+        self._spec.ips.append(ipdef)
+        return self
+
+    # -- terminal operations -------------------------------------------
+    def build(self) -> PlatformSpec:
+        """Validate and return the accumulated spec."""
+        return self._spec.validate()
+
+    def register(self, overwrite: bool = False) -> PlatformSpec:
+        """Validate, publish under the spec's name, and return the spec."""
+        from repro.platform.registry import register_platform
+
+        spec = self.build()
+        register_platform(spec, overwrite=overwrite)
+        return spec

@@ -1,0 +1,160 @@
+"""Load and save :class:`~repro.platform.spec.PlatformSpec` files.
+
+JSON is the primary interchange format; TOML is supported symmetrically
+(read via :mod:`tomllib`, written by the small emitter below).  The TOML
+emitter intentionally produces *inline* tables and arrays — every value a
+platform spec contains is representable that way, the output is valid TOML
+v1.0 and, crucially, round-trips through ``tomllib`` to the exact same
+dictionary, so ``spec -> TOML -> spec`` is lossless just like JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Any, Dict, Union
+
+from repro.errors import PlatformError
+from repro.platform.spec import PlatformSpec
+
+__all__ = [
+    "dumps_toml",
+    "load_platform",
+    "load_spec_dict",
+    "save_platform",
+    "spec_from_json",
+    "spec_from_toml",
+    "spec_to_json",
+    "spec_to_toml",
+]
+
+_BARE_KEY = re.compile(r"^[A-Za-z0-9_-]+$")
+
+
+# ----------------------------------------------------------------------
+# Minimal TOML emitter (inline style)
+# ----------------------------------------------------------------------
+def _toml_key(key: str) -> str:
+    if _BARE_KEY.match(key):
+        return key
+    return json.dumps(key)  # JSON string escaping is valid for TOML basic strings
+
+
+def _toml_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise PlatformError("platform specs cannot contain NaN/Inf values")
+        text = repr(value)
+        # TOML floats need a dot or exponent ("5e+16" has one, "50.0" too).
+        return text if ("." in text or "e" in text or "E" in text) else text + ".0"
+    if isinstance(value, str):
+        return json.dumps(value)
+    if isinstance(value, dict):
+        inner = ", ".join(f"{_toml_key(k)} = {_toml_value(v)}" for k, v in value.items())
+        return "{" + inner + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_toml_value(item) for item in value) + "]"
+    raise PlatformError(f"cannot encode {type(value).__name__} value {value!r} as TOML")
+
+
+def dumps_toml(data: Dict[str, Any]) -> str:
+    """Encode a plain dictionary as TOML (top-level keys, inline values)."""
+    lines = [f"{_toml_key(key)} = {_toml_value(value)}" for key, value in data.items()]
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Spec <-> text
+# ----------------------------------------------------------------------
+def spec_to_json(spec: PlatformSpec, indent: int = 2) -> str:
+    """Canonical JSON encoding of ``spec``."""
+    return json.dumps(spec.to_dict(), indent=indent, sort_keys=False) + "\n"
+
+
+def spec_from_json(text: str) -> PlatformSpec:
+    """Parse and validate a spec from JSON text."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise PlatformError(f"invalid JSON: {error}") from None
+    return PlatformSpec.from_dict(data)
+
+
+def spec_to_toml(spec: PlatformSpec) -> str:
+    """Canonical TOML encoding of ``spec``."""
+    return dumps_toml(spec.to_dict())
+
+
+def spec_from_toml(text: str) -> PlatformSpec:
+    """Parse and validate a spec from TOML text (Python >= 3.11)."""
+    try:
+        import tomllib
+    except ImportError:  # pragma: no cover - Python < 3.11
+        raise PlatformError(
+            "TOML platform specs need Python >= 3.11 (tomllib); use JSON instead"
+        ) from None
+    try:
+        data = tomllib.loads(text)
+    except tomllib.TOMLDecodeError as error:
+        raise PlatformError(f"invalid TOML: {error}") from None
+    return PlatformSpec.from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# Files
+# ----------------------------------------------------------------------
+def load_spec_dict(path: Union[str, os.PathLike]) -> Dict[str, Any]:
+    """Read a ``.json``/``.toml`` file into a plain dictionary (no validation)."""
+    text_path = str(path)
+    if text_path.endswith(".toml"):
+        try:
+            import tomllib
+        except ImportError:  # pragma: no cover - Python < 3.11
+            raise PlatformError(
+                "TOML platform specs need Python >= 3.11 (tomllib); use JSON instead"
+            ) from None
+        with open(text_path, "rb") as handle:
+            try:
+                return tomllib.load(handle)
+            except tomllib.TOMLDecodeError as error:
+                raise PlatformError(f"{text_path}: invalid TOML: {error}") from None
+    if text_path.endswith(".json"):
+        with open(text_path, "r", encoding="utf-8") as handle:
+            try:
+                return json.load(handle)
+            except json.JSONDecodeError as error:
+                raise PlatformError(f"{text_path}: invalid JSON: {error}") from None
+    raise PlatformError(
+        f"unsupported spec file {text_path!r} (expected .json or .toml)"
+    )
+
+
+def load_platform(path: Union[str, os.PathLike]) -> PlatformSpec:
+    """Load and validate a platform spec from a ``.json``/``.toml`` file."""
+    try:
+        return PlatformSpec.from_dict(load_spec_dict(path))
+    except PlatformError as error:
+        message = str(error)
+        if not message.startswith(str(path)):
+            raise PlatformError(f"{path}: {message}") from None
+        raise
+
+
+def save_platform(spec: PlatformSpec, path: Union[str, os.PathLike]) -> None:
+    """Write ``spec`` to a ``.json`` or ``.toml`` file (by extension)."""
+    text_path = str(path)
+    if text_path.endswith(".toml"):
+        text = spec_to_toml(spec)
+    elif text_path.endswith(".json"):
+        text = spec_to_json(spec)
+    else:
+        raise PlatformError(
+            f"unsupported platform spec file {text_path!r} (expected .json or .toml)"
+        )
+    with open(text_path, "w", encoding="utf-8") as handle:
+        handle.write(text)

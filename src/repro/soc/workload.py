@@ -22,6 +22,7 @@ All random generators take an explicit seed so simulations are reproducible.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -131,8 +132,9 @@ class Workload:
 
         Idle gaps are stored as an exact femtosecond integer
         (``idle_after_fs``) so a round trip is lossless — campaign job hashes
-        depend on it.  A derived ``idle_after_us`` float is included for
-        human readability and for readers of the legacy format.
+        and platform-spec hashes depend on it.  The float ``idle_after_us``
+        key of the legacy format is no longer emitted (it is deprecated and
+        read-only, see :meth:`from_dicts`).
         """
         return [
             {
@@ -141,7 +143,6 @@ class Workload:
                 "priority": str(item.task.priority),
                 "instruction_class": str(item.task.instruction_class),
                 "idle_after_fs": item.idle_after.femtoseconds,
-                "idle_after_us": item.idle_after.seconds * 1e6,
             }
             for item in self.items
         ]
@@ -150,10 +151,13 @@ class Workload:
     def from_dicts(entries: Iterable[dict], name: str = "workload") -> "Workload":
         """Rebuild a workload from :meth:`as_dicts` output.
 
-        Prefers the lossless ``idle_after_fs`` key; entries written by older
-        versions carry only the float ``idle_after_us`` and are still read.
+        Prefers the lossless ``idle_after_fs`` key.  Entries written by the
+        pre-PR-1 format carry only the float ``idle_after_us``; they are
+        still read, with a :class:`DeprecationWarning` — re-serialize such
+        workloads to upgrade them (only ``idle_after_fs`` is emitted).
         """
         items = []
+        legacy_keys = 0
         for entry in entries:
             task = Task(
                 name=entry["task"],
@@ -164,8 +168,18 @@ class Workload:
             if "idle_after_fs" in entry:
                 idle = SimTime(int(entry["idle_after_fs"]))
             else:
+                if "idle_after_us" in entry:
+                    legacy_keys += 1
                 idle = us(float(entry.get("idle_after_us", 0.0)))
             items.append(WorkloadItem(task, idle))
+        if legacy_keys:
+            warnings.warn(
+                f"workload {name!r}: {legacy_keys} item(s) use the deprecated "
+                "'idle_after_us' float key; re-serialize with as_dicts() to the "
+                "lossless 'idle_after_fs' format",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         return Workload(items=items, name=name)
 
 

@@ -139,13 +139,20 @@ class TestWorkloadContainer:
         # is what keeps campaign job hashes reproducible).
         assert rebuilt.as_dicts() == workload.as_dicts()
 
-    def test_serialisation_accepts_legacy_microsecond_key(self):
+    def test_serialisation_accepts_legacy_microsecond_key_with_warning(self):
         entries = [
             {"task": "t0", "cycles": 1000, "priority": "medium",
              "instruction_class": "alu", "idle_after_us": 2.5}
         ]
-        workload = Workload.from_dicts(entries)
+        with pytest.warns(DeprecationWarning, match="idle_after_us"):
+            workload = Workload.from_dicts(entries)
         assert workload[0].idle_after == us(2.5)
+
+    def test_serialisation_emits_only_the_lossless_key(self):
+        workload = random_workload(task_count=3, seed=9)
+        for entry in workload.as_dicts():
+            assert "idle_after_fs" in entry
+            assert "idle_after_us" not in entry
 
     def test_invalid_items_rejected(self):
         with pytest.raises(WorkloadError):
