@@ -14,6 +14,7 @@ import pytest
 
 from repro.dpm import DpmSetup
 from repro.experiments import run_scenario, scenario_by_name
+from repro.platform import PlatformBuilder
 from repro.sim import Kernel, ns, us
 
 
@@ -59,6 +60,64 @@ def test_simulation_speed_single_ip_fast(benchmark):
 def test_simulation_speed_multi_ip_fast(benchmark):
     """B under the toleranced fast accuracy mode."""
     _bench_scenario(benchmark, "B", "fast", 7.5)
+
+
+def _bus_contention_platform(timing: str):
+    """Four IPs hammering one shared bus: the materialised-clock stress case.
+
+    The same platform runs in both timing modes, so the dashboard tracks the
+    cost of posedge arbitration (a real consumer of ``Clock.out``) against
+    the clock-free event-driven bus.
+    """
+    builder = (
+        PlatformBuilder(f"bench-bus-{timing}")
+        .describe("bus-contention benchmark platform")
+        .bus(words_per_second=10e6, arbitration="priority", timing=timing,
+             words_per_cycle=4)
+        .max_time_ms(2000)
+    )
+    for index in range(4):
+        builder.ip(
+            f"ip{index}",
+            workload={"kind": "periodic", "task_count": 40, "cycles": 50_000,
+                      "idle_us": 200.0},
+            priority=index + 1,
+            bus_words_per_task=512,
+        )
+    return builder.build()
+
+
+def _bench_bus(benchmark, timing: str):
+    def run():
+        return run_scenario(_bus_contention_platform(timing), DpmSetup.paper())
+
+    artefacts = benchmark.pedantic(run, rounds=1, iterations=1)
+    bus = artefacts.soc.bus
+    assert bus is not None and bus.stats.transfer_count == 4 * 40
+    speed = artefacts.kilocycles_per_second()
+    benchmark.extra_info["kilocycles_per_second"] = round(speed, 1)
+    benchmark.extra_info["scenario"] = f"BUS-{'CA' if timing == 'cycle_accurate' else 'ED'}"
+    benchmark.extra_info["accuracy"] = "exact"
+    benchmark.extra_info["bus_timing"] = timing
+    benchmark.extra_info["bus_occupancy_pct"] = round(100.0 * bus.occupancy(), 1)
+    print(
+        f"\n[sim-speed bus/{timing}] {speed:.0f} Kcycle/s "
+        f"(occupancy {100.0 * bus.occupancy():.0f}%, "
+        f"{bus.stats.transfer_count} transfers)"
+    )
+    assert speed > 0.0
+
+
+@pytest.mark.benchmark(group="sim-speed")
+def test_simulation_speed_bus_event_driven(benchmark):
+    """Bus contention with the clock-free event-driven arbiter."""
+    _bench_bus(benchmark, "event_driven")
+
+
+@pytest.mark.benchmark(group="sim-speed")
+def test_simulation_speed_bus_cycle_accurate(benchmark):
+    """Bus contention with posedge arbitration on a materialised clock."""
+    _bench_bus(benchmark, "cycle_accurate")
 
 
 @pytest.mark.benchmark(group="sim-speed")

@@ -79,10 +79,22 @@ class ScenarioMetrics:
     kilocycles_per_second: float = 0.0
     per_ip: Dict[str, Dict[str, float]] = field(default_factory=dict)
     extra: Dict[str, float] = field(default_factory=dict)
+    # Shared-bus figures of the DPM run; all zero on bus-less platforms.
+    bus_occupancy_pct: float = 0.0
+    bus_transfer_count: int = 0
+    bus_words_transferred: int = 0
+    bus_average_wait_us: float = 0.0
+    bus_cancelled_count: int = 0
+
+    @property
+    def has_bus_figures(self) -> bool:
+        """True when the DPM run carried (or at least attempted) bus traffic."""
+        return (self.bus_transfer_count > 0 or self.bus_occupancy_pct > 0.0
+                or self.bus_cancelled_count > 0)
 
     def as_dict(self) -> dict:
         """Flat dictionary view (used by reports and benchmark output)."""
-        return {
+        data = {
             "scenario": self.scenario,
             "energy_saving_pct": self.energy_saving_pct,
             "temperature_reduction_pct": self.temperature_reduction_pct,
@@ -97,6 +109,15 @@ class ScenarioMetrics:
             "kilocycles_per_second": self.kilocycles_per_second,
             **self.extra,
         }
+        if self.has_bus_figures:
+            # Only on bus-bearing runs: bus-less records stay byte-identical
+            # with the archives of pre-bus campaign stores.
+            data["bus_occupancy_pct"] = self.bus_occupancy_pct
+            data["bus_transfer_count"] = self.bus_transfer_count
+            data["bus_words_transferred"] = self.bus_words_transferred
+            data["bus_average_wait_us"] = self.bus_average_wait_us
+            data["bus_cancelled_count"] = self.bus_cancelled_count
+        return data
 
 
 def compare_runs(
@@ -112,11 +133,18 @@ def compare_runs(
     wall_clock_s: float = 0.0,
     kilocycles_per_second: float = 0.0,
     per_ip: Optional[Dict[str, Dict[str, float]]] = None,
+    bus: Optional[Dict[str, float]] = None,
 ) -> ScenarioMetrics:
-    """Build the :class:`ScenarioMetrics` record from two runs of a scenario."""
+    """Build the :class:`ScenarioMetrics` record from two runs of a scenario.
+
+    ``bus`` carries the DPM run's shared-bus figures (as produced by
+    :meth:`repro.experiments.runner.RunArtifacts.bus_summary`); ``None`` on
+    bus-less platforms.
+    """
     saving = energy_saving(baseline_energy_j, dpm_energy_j)
     reduction = temperature_reduction(baseline_rise_c, dpm_rise_c)
     overhead = average_delay_overhead(dpm_executions)
+    bus = bus or {}
     return ScenarioMetrics(
         scenario=scenario,
         energy_saving_pct=saving * 100.0,
@@ -133,4 +161,9 @@ def compare_runs(
         wall_clock_s=wall_clock_s,
         kilocycles_per_second=kilocycles_per_second,
         per_ip=per_ip or {},
+        bus_occupancy_pct=float(bus.get("occupancy_pct", 0.0)),
+        bus_transfer_count=int(bus.get("transfer_count", 0)),
+        bus_words_transferred=int(bus.get("words_transferred", 0)),
+        bus_average_wait_us=float(bus.get("average_wait_us", 0.0)),
+        bus_cancelled_count=int(bus.get("cancelled_count", 0)),
     )

@@ -41,6 +41,8 @@ _MEANED_FIELDS = (
     "dpm_average_rise_c",
     "baseline_average_rise_c",
     "simulated_time_s",
+    "bus_occupancy_pct",
+    "bus_average_wait_us",
 )
 
 
@@ -65,6 +67,11 @@ def record_metrics(record: Mapping[str, Any]) -> ScenarioMetrics:
         simulated_time_s=metrics.pop("simulated_time_s", 0.0),
         wall_clock_s=metrics.pop("wall_clock_s", 0.0),
         kilocycles_per_second=metrics.pop("kilocycles_per_second", 0.0),
+        bus_occupancy_pct=metrics.pop("bus_occupancy_pct", 0.0),
+        bus_transfer_count=int(metrics.pop("bus_transfer_count", 0)),
+        bus_words_transferred=int(metrics.pop("bus_words_transferred", 0)),
+        bus_average_wait_us=metrics.pop("bus_average_wait_us", 0.0),
+        bus_cancelled_count=int(metrics.pop("bus_cancelled_count", 0)),
         per_ip={name: dict(stats) for name, stats in record.get("per_ip", {}).items()},
         extra={key: value for key, value in metrics.items() if isinstance(value, (int, float))},
     )
@@ -107,6 +114,11 @@ def aggregate_records(records: Sequence[Mapping[str, Any]]) -> List[ScenarioMetr
                 baseline_average_rise_c=means["baseline_average_rise_c"],
                 tasks_executed=sum(member.tasks_executed for member in members),
                 simulated_time_s=means["simulated_time_s"],
+                bus_occupancy_pct=means["bus_occupancy_pct"],
+                bus_average_wait_us=means["bus_average_wait_us"],
+                bus_transfer_count=sum(m.bus_transfer_count for m in members),
+                bus_words_transferred=sum(m.bus_words_transferred for m in members),
+                bus_cancelled_count=sum(m.bus_cancelled_count for m in members),
                 extra={"jobs": float(count)},
             )
         )

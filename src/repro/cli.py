@@ -259,6 +259,15 @@ def _print_comparison(scenario, setup_name: str, accuracy: str, metrics) -> None
         ["DPM energy (mJ)", f"{metrics.dpm_energy_j * 1e3:.2f}"],
         ["baseline energy (mJ)", f"{metrics.baseline_energy_j * 1e3:.2f}"],
     ]
+    if metrics.has_bus_figures:
+        rows.extend([
+            ["bus occupancy (%)", f"{metrics.bus_occupancy_pct:.1f}"],
+            ["bus transfers", str(metrics.bus_transfer_count)],
+            ["bus words moved", str(metrics.bus_words_transferred)],
+            ["bus average wait (us)", f"{metrics.bus_average_wait_us:.1f}"],
+        ])
+        if metrics.bus_cancelled_count:
+            rows.append(["bus cancelled requests", str(metrics.bus_cancelled_count)])
     print(format_table(["metric", "value"], rows))
     if metrics.per_ip:
         print("\nPer IP:")
@@ -529,9 +538,19 @@ def _print_platform_summary(spec) -> None:
     print(f"Platform {spec.name}: {spec.description or '(no description)'}")
     battery = spec.battery.to_dict() or {"condition": "(library default)"}
     thermal = spec.thermal.to_dict() or {"condition": "(library default)"}
+    if spec.bus.enabled:
+        bus_detail = (
+            f"{spec.bus.timing}, {spec.bus.arbitration}, "
+            f"{spec.bus.words_per_second:g} words/s"
+        )
+        if spec.bus.timing == "cycle_accurate":
+            bus_detail += f", {spec.bus.words_per_cycle} words/cycle"
+    else:
+        bus_detail = "none"
     facts = [
         ["IPs", str(len(spec.ips))],
         ["GEM", "enabled" if spec.gem.enabled else "disabled"],
+        ["bus", bus_detail],
         ["battery", ", ".join(f"{k}={v}" for k, v in battery.items())],
         ["thermal", ", ".join(f"{k}={v}" for k, v in thermal.items())],
         ["policy", spec.policy.name if spec.policy else "(caller's choice)"],

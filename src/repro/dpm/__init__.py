@@ -6,9 +6,9 @@ Global Energy Manager (GEM), idle-time predictors, baseline policies and the
 """
 
 from repro.dpm.controller import DpmSetup
-from repro.dpm.gem import GemConfig, GlobalEnergyManager
+from repro.dpm.gem import GemConfig, GlobalEnergyManager, ResourceView
 from repro.dpm.lem import LemConfig, LemDecision, LocalEnergyManager, TaskGrant
-from repro.dpm.levels import BatteryLevel, RuleContext, TaskPriority, TemperatureLevel
+from repro.dpm.levels import BatteryLevel, BusLevel, RuleContext, TaskPriority, TemperatureLevel
 from repro.dpm.policies import (
     AlwaysOnPolicy,
     DpmPolicy,
@@ -31,6 +31,7 @@ __all__ = [
     "AdaptivePredictor",
     "AlwaysOnPolicy",
     "BatteryLevel",
+    "BusLevel",
     "DpmPolicy",
     "DpmSetup",
     "ExponentialAveragePredictor",
@@ -45,6 +46,7 @@ __all__ = [
     "LemDecision",
     "LocalEnergyManager",
     "OraclePolicy",
+    "ResourceView",
     "Rule",
     "RuleBasedPolicy",
     "RuleContext",

@@ -37,10 +37,11 @@ from repro.power.states import PowerState
 from repro.sim.kernel import Kernel
 from repro.sim.module import Module
 from repro.sim.simtime import SimTime, us
+from repro.soc.bus import Bus, BusLevel
 from repro.thermal.fan import Fan
 from repro.thermal.level import TemperatureLevel
 
-__all__ = ["GemConfig", "GlobalEnergyManager"]
+__all__ = ["GemConfig", "GlobalEnergyManager", "ResourceView"]
 
 #: sentinel "no pending request" priority rank (worse than any real rank)
 _NO_RANK = 1 << 30
@@ -50,6 +51,34 @@ _NO_RANK = 1 << 30
 _BATTERY_OK = (BatteryLevel.MEDIUM, BatteryLevel.HIGH, BatteryLevel.FULL, BatteryLevel.AC_POWER)
 _BATTERY_POOR = (BatteryLevel.EMPTY, BatteryLevel.LOW)
 _TEMPERATURE_OK = (TemperatureLevel.LOW, TemperatureLevel.MEDIUM)
+
+
+@dataclass(frozen=True)
+class ResourceView:
+    """Snapshot of the SoC resource status the GEM conditions on.
+
+    The paper's GEM "receives information about the status of the SoC
+    resources (battery energy, chip temperature, bus occupation, etc.)";
+    this record is that view at one instant, with both the raw figures and
+    their quantised classes.
+    """
+
+    battery: BatteryLevel
+    temperature: TemperatureLevel
+    bus: BusLevel
+    state_of_charge: float
+    temperature_c: float
+    bus_occupancy: float
+    pending_energy_j: float
+
+    def describe(self) -> str:
+        """Human-readable one-liner, used in traces and reports."""
+        return (
+            f"battery={self.battery} ({self.state_of_charge:.0%}), "
+            f"temperature={self.temperature} ({self.temperature_c:.1f} C), "
+            f"bus={self.bus} ({self.bus_occupancy:.0%}), "
+            f"pending={self.pending_energy_j:.3e} J"
+        )
 
 
 @dataclass
@@ -84,6 +113,7 @@ class GlobalEnergyManager(Module):
         battery_monitor,
         temperature_sensor,
         fan: Optional[Fan] = None,
+        bus: Optional[Bus] = None,
         config: Optional[GemConfig] = None,
         parent: Optional[Module] = None,
         fast: bool = False,
@@ -95,6 +125,7 @@ class GlobalEnergyManager(Module):
         self._battery = battery_monitor.battery
         self._thermal = temperature_sensor.model
         self.fan = fan
+        self.bus = bus
         self.config = config or GemConfig()
         self.enable_changed = self.event("enable_changed")
         self._lems: Dict[str, object] = {}
@@ -267,6 +298,32 @@ class GlobalEnergyManager(Module):
         value = sum(energy for name, energy in self._pending_energy.items() if name != ip_name)
         self._pending_cache[ip_name] = (version, value)
         return value
+
+    # ------------------------------------------------------------------
+    # Resource view
+    # ------------------------------------------------------------------
+    def bus_level(self) -> BusLevel:
+        """Quantised bus occupation (``LOW`` on bus-less platforms)."""
+        bus = self.bus
+        return BusLevel.LOW if bus is None else bus.occupancy_level()
+
+    def resource_view(self) -> ResourceView:
+        """The SoC resource status the GEM currently sees (paper, 1.4).
+
+        ``bus`` is the windowed level the rules consume (current
+        contention); ``bus_occupancy`` is the lifetime busy fraction used
+        for reporting.
+        """
+        bus = self.bus
+        return ResourceView(
+            battery=self._battery.level,
+            temperature=self._thermal.level,
+            bus=self.bus_level(),
+            state_of_charge=self._battery.state_of_charge,
+            temperature_c=self._thermal.temperature_c,
+            bus_occupancy=0.0 if bus is None else bus.occupancy(),
+            pending_energy_j=sum(self._pending_energy.values()),
+        )
 
     # ------------------------------------------------------------------
     # Enable algorithm

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.battery.model import Battery
-from repro.dpm.levels import RuleContext
+from repro.dpm.levels import BusLevel, RuleContext
 from repro.dpm.policies import DpmPolicy, RuleBasedPolicy
 from repro.dpm.predictor import IdlePredictor, default_predictor
 from repro.errors import ConfigurationError
@@ -90,6 +90,7 @@ class LemDecision:
     request_time: SimTime
     grant_time: SimTime
     deferrals: int = 0
+    bus: str = "low"
 
     @property
     def waiting_time(self) -> SimTime:
@@ -122,6 +123,7 @@ class LocalEnergyManager(Module):
         policy: Optional[DpmPolicy] = None,
         predictor: Optional[IdlePredictor] = None,
         gem=None,
+        bus=None,
         static_priority: int = 1,
         config: Optional[LemConfig] = None,
         parent: Optional[Module] = None,
@@ -135,6 +137,7 @@ class LocalEnergyManager(Module):
         self.characterization = characterization
         self.battery = battery
         self.thermal = thermal
+        self.bus = bus
         self.breakeven = breakeven
         self.policy = policy or RuleBasedPolicy()
         self.predictor = predictor or default_predictor()
@@ -303,6 +306,7 @@ class LocalEnergyManager(Module):
                     request_time=grant.request_time,
                     grant_time=self.kernel.now,
                     deferrals=deferrals,
+                    bus=str(context.bus),
                 )
             )
         grant.event.notify()
@@ -408,11 +412,13 @@ class LocalEnergyManager(Module):
         other_power = other_energy / own_duration_s if own_duration_s > 0 else 0.0
         projected_c = self.thermal.estimate_after(own_power + other_power, own_duration)
         temperature_level = self.thermal.config.thresholds.classify(projected_c)
+        bus = self.bus
         return RuleContext(
             priority=task.priority,
             battery=battery_level,
             temperature=temperature_level,
             other_ip_energy_j=other_energy,
+            bus=BusLevel.LOW if bus is None else bus.occupancy_level(),
         )
 
     # ------------------------------------------------------------------

@@ -1,11 +1,13 @@
 """Coded input classes of the DPM rules.
 
-The LEM rules consume three quantised inputs (paper, section 1.3):
+The LEM rules consume the quantised inputs of the paper's section 1.3:
 
 * task priority — 4 classes (:class:`~repro.soc.task.TaskPriority`);
 * battery status — 5 classes plus the mains-power case
   (:class:`~repro.battery.status.BatteryLevel`);
-* chip temperature — 3 classes (:class:`~repro.thermal.level.TemperatureLevel`).
+* chip temperature — 3 classes (:class:`~repro.thermal.level.TemperatureLevel`);
+* bus occupation — 3 classes (:class:`~repro.soc.bus.BusLevel`), present on
+  platforms with a shared bus and ``LOW`` otherwise.
 
 This module re-exports them under one roof and provides the
 :class:`RuleContext` value object the rule engine evaluates.
@@ -16,10 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.battery.status import BatteryLevel
+from repro.soc.bus import BusLevel
 from repro.soc.task import TaskPriority
 from repro.thermal.level import TemperatureLevel
 
-__all__ = ["BatteryLevel", "TaskPriority", "TemperatureLevel", "RuleContext"]
+__all__ = ["BatteryLevel", "BusLevel", "TaskPriority", "TemperatureLevel", "RuleContext"]
 
 
 @dataclass(frozen=True)
@@ -28,17 +31,21 @@ class RuleContext:
 
     The battery and temperature values are the *estimated* levels at the end
     of the task (the LEM projects them before applying the rules), plus the
-    energy already requested by the other IP blocks, which the GEM reports.
+    energy already requested by the other IP blocks, which the GEM reports,
+    and the quantised bus occupation (``LOW`` on bus-less platforms, so the
+    paper's bus-agnostic rules behave identically with or without a bus).
     """
 
     priority: TaskPriority
     battery: BatteryLevel
     temperature: TemperatureLevel
     other_ip_energy_j: float = 0.0
+    bus: BusLevel = BusLevel.LOW
 
     def describe(self) -> str:
         """Human-readable one-liner, used in traces and error messages."""
         return (
             f"priority={self.priority}, battery={self.battery}, "
-            f"temperature={self.temperature}, other_ip_energy={self.other_ip_energy_j:.3e} J"
+            f"temperature={self.temperature}, bus={self.bus}, "
+            f"other_ip_energy={self.other_ip_energy_j:.3e} J"
         )

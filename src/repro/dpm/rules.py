@@ -26,6 +26,7 @@ from repro.battery.status import BatteryLevel
 from repro.dpm.levels import RuleContext
 from repro.errors import RuleError
 from repro.power.states import PowerState
+from repro.soc.bus import BusLevel
 from repro.soc.task import TaskPriority
 from repro.thermal.level import TemperatureLevel
 
@@ -42,14 +43,17 @@ _S = PowerState
 class Rule:
     """One row of the selection table.
 
-    ``priorities``, ``batteries`` and ``temperatures`` are the accepted input
-    classes; ``None`` is a wildcard ("-" in the paper's Table 1).
+    ``priorities``, ``batteries``, ``temperatures`` and ``buses`` are the
+    accepted input classes; ``None`` is a wildcard ("-" in the paper's
+    Table 1).  The bus dimension only matters on bus-bearing platforms — on
+    a bus-less SoC the context's bus level is always ``LOW``.
     """
 
     state: PowerState
     priorities: Optional[FrozenSet[TaskPriority]] = None
     batteries: Optional[FrozenSet[BatteryLevel]] = None
     temperatures: Optional[FrozenSet[TemperatureLevel]] = None
+    buses: Optional[FrozenSet[BusLevel]] = None
     label: str = ""
 
     @staticmethod
@@ -58,6 +62,7 @@ class Rule:
         priorities: Optional[Iterable[TaskPriority]] = None,
         batteries: Optional[Iterable[BatteryLevel]] = None,
         temperatures: Optional[Iterable[TemperatureLevel]] = None,
+        buses: Optional[Iterable[BusLevel]] = None,
         label: str = "",
     ) -> "Rule":
         """Convenience constructor accepting any iterables (or ``None``)."""
@@ -66,6 +71,7 @@ class Rule:
             priorities=None if priorities is None else frozenset(priorities),
             batteries=None if batteries is None else frozenset(batteries),
             temperatures=None if temperatures is None else frozenset(temperatures),
+            buses=None if buses is None else frozenset(buses),
             label=label,
         )
 
@@ -77,6 +83,8 @@ class Rule:
             return False
         if self.temperatures is not None and context.temperature not in self.temperatures:
             return False
+        if self.buses is not None and context.bus not in self.buses:
+            return False
         return True
 
     def describe(self) -> str:
@@ -87,11 +95,14 @@ class Rule:
                 return "-"
             return ",".join(str(v) for v in sorted(values, key=order))
 
-        return (
+        rendering = (
             f"[{self.label or 'rule'}] priority({fmt(self.priorities, lambda p: -p.rank)}) "
             f"battery({fmt(self.batteries, lambda b: -b.rank)}) "
-            f"temperature({fmt(self.temperatures, lambda t: t.rank)}) -> {self.state}"
+            f"temperature({fmt(self.temperatures, lambda t: t.rank)})"
         )
+        if self.buses is not None:
+            rendering += f" bus({fmt(self.buses, lambda b: b.rank)})"
+        return f"{rendering} -> {self.state}"
 
 
 class RuleTable:
@@ -106,9 +117,9 @@ class RuleTable:
         self.name = name
         self._rules: List[Rule] = list(rules)
         self._hits: Dict[int, int] = {index: 0 for index in range(len(rules))}
-        # First-match index per (priority, battery, temperature) triple: rule
-        # matching only reads those three classes, so the winning rule is a
-        # pure function of them and can be looked up instead of re-scanned.
+        # First-match index per (priority, battery, temperature, bus) tuple:
+        # rule matching only reads those four classes, so the winning rule is
+        # a pure function of them and can be looked up instead of re-scanned.
         self._first_match_cache: Dict[tuple, int] = {}
 
     # -- evaluation -------------------------------------------------------
@@ -121,8 +132,11 @@ class RuleTable:
             If no rule matches (the table is not total for this input).
         """
         # Dense integer key: enum __hash__ is Python-level and shows up in
-        # profiles; the packed _idx triple hashes at C speed.
-        key = (context.priority._idx * 64) + (context.battery._idx * 8) + context.temperature._idx
+        # profiles; the packed _idx tuple hashes at C speed.
+        key = (
+            ((context.priority._idx * 64) + (context.battery._idx * 8) + context.temperature._idx)
+            * 4
+        ) + context.bus._idx
         index = self._first_match_cache.get(key)
         if index is None:
             for index, rule in enumerate(self._rules):
@@ -141,9 +155,10 @@ class RuleTable:
         priority: TaskPriority,
         battery: BatteryLevel,
         temperature: TemperatureLevel,
+        bus: BusLevel = BusLevel.LOW,
     ) -> PowerState:
         """Convenience wrapper building the :class:`RuleContext`."""
-        return self.select(RuleContext(priority, battery, temperature))
+        return self.select(RuleContext(priority, battery, temperature, bus=bus))
 
     # -- inspection ----------------------------------------------------------
     @property
@@ -157,36 +172,57 @@ class RuleTable:
         return dict(self._hits)
 
     def is_total(self) -> bool:
-        """True when every (priority, battery, temperature) combination matches."""
+        """True when every input combination matches.
+
+        Enumerates (priority, battery, temperature) and — for tables with
+        bus-constrained rules — every bus level too.
+        """
         return not self.uncovered_contexts()
+
+    def _bus_dimension(self) -> Tuple[BusLevel, ...]:
+        """Bus levels to enumerate in coverage checks.
+
+        A table whose rules never constrain the bus is a pure function of
+        the classic (priority, battery, temperature) triple, so only the
+        default ``LOW`` level needs visiting.
+        """
+        if any(rule.buses is not None for rule in self._rules):
+            return tuple(BusLevel)
+        return (BusLevel.LOW,)
 
     def uncovered_contexts(self) -> List[RuleContext]:
         """All input combinations not covered by any rule."""
         missing = []
+        bus_levels = self._bus_dimension()
         for priority in TaskPriority:
             for battery in BatteryLevel:
                 for temperature in TemperatureLevel:
-                    context = RuleContext(priority, battery, temperature)
-                    if not any(rule.matches(context) for rule in self._rules):
-                        missing.append(context)
+                    for bus in bus_levels:
+                        context = RuleContext(priority, battery, temperature, bus=bus)
+                        if not any(rule.matches(context) for rule in self._rules):
+                            missing.append(context)
         return missing
 
     def unreachable_rules(self) -> List[int]:
         """Indices of rules shadowed by earlier rules for every input."""
         unreachable = []
+        bus_levels = self._bus_dimension()
         for index, rule in enumerate(self._rules):
             reachable = False
             for priority in TaskPriority:
                 for battery in BatteryLevel:
                     for temperature in TemperatureLevel:
-                        context = RuleContext(priority, battery, temperature)
-                        if not rule.matches(context):
-                            continue
-                        earlier = any(
-                            self._rules[j].matches(context) for j in range(index)
-                        )
-                        if not earlier:
-                            reachable = True
+                        for bus in bus_levels:
+                            context = RuleContext(priority, battery, temperature, bus=bus)
+                            if not rule.matches(context):
+                                continue
+                            earlier = any(
+                                self._rules[j].matches(context) for j in range(index)
+                            )
+                            if not earlier:
+                                reachable = True
+                                break
+                        if reachable:
                             break
                     if reachable:
                         break
@@ -217,6 +253,9 @@ class RuleTable:
                     "temperatures": None
                     if rule.temperatures is None
                     else sorted(str(t) for t in rule.temperatures),
+                    "buses": None
+                    if rule.buses is None
+                    else sorted(str(b) for b in rule.buses),
                     "label": rule.label,
                 }
             )
@@ -239,6 +278,9 @@ class RuleTable:
                     temperatures=None
                     if entry.get("temperatures") is None
                     else [TemperatureLevel(t) for t in entry["temperatures"]],
+                    buses=None
+                    if entry.get("buses") is None
+                    else [BusLevel(b) for b in entry["buses"]],
                     label=entry.get("label", ""),
                 )
             )

@@ -126,6 +126,19 @@ class RunArtifacts:
             return 0.0
         return self.cycles_simulated() / self.wall_clock_s / 1e3
 
+    def bus_summary(self) -> Optional[Dict[str, float]]:
+        """Shared-bus figures of the run, or ``None`` on bus-less platforms."""
+        bus = self.soc.bus
+        if bus is None:
+            return None
+        return {
+            "occupancy_pct": 100.0 * bus.occupancy(),
+            "transfer_count": float(bus.stats.transfer_count),
+            "words_transferred": float(bus.stats.words_transferred),
+            "average_wait_us": bus.stats.average_wait().seconds * 1e6,
+            "cancelled_count": float(bus.stats.cancelled_count),
+        }
+
     def per_ip_summary(self) -> Dict[str, Dict[str, float]]:
         """Per-IP energy, task count and mean delay overhead."""
         summary: Dict[str, Dict[str, float]] = {}
@@ -263,5 +276,6 @@ def run_comparison(
         wall_clock_s=dpm_run.wall_clock_s,
         kilocycles_per_second=dpm_run.kilocycles_per_second(),
         per_ip=dpm_run.per_ip_summary(),
+        bus=dpm_run.bus_summary(),
     )
     return metrics

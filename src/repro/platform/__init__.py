@@ -51,6 +51,7 @@ from repro.platform.serialize import (
 from repro.platform.spec import (
     SPEC_FORMAT,
     BatteryDef,
+    BusDef,
     GemDef,
     IpDef,
     OperatingPointDef,
@@ -66,6 +67,7 @@ __all__ = [
     "PAPER_PLATFORM_NAMES",
     "SPEC_FORMAT",
     "BatteryDef",
+    "BusDef",
     "GemDef",
     "IpDef",
     "OperatingPointDef",

@@ -272,6 +272,7 @@ def build_ip_spec(ipdef: IpDef, index: int = 0, seed: Optional[int] = None) -> I
         transitions=build_transitions(ipdef, characterization),
         initial_state=PowerState(ipdef.initial_state),
         bus_words_per_task=ipdef.bus_words_per_task,
+        bus_priority=ipdef.bus_priority,
     )
 
 
@@ -328,8 +329,11 @@ def build_soc_config(spec: PlatformSpec) -> SocConfig:
         use_gem=spec.gem.enabled,
         with_fan=spec.with_fan,
         fan_power_w=spec.fan_power_w,
-        with_bus=spec.with_bus,
-        bus_words_per_second=spec.bus_words_per_second,
+        with_bus=spec.bus.enabled,
+        bus_words_per_second=spec.bus.words_per_second,
+        bus_arbitration=spec.bus.arbitration,
+        bus_timing=spec.bus.timing,
+        bus_words_per_cycle=spec.bus.words_per_cycle,
     )
 
 

@@ -29,6 +29,7 @@ from typing import Any, Mapping, Optional, Union
 from repro.errors import PlatformError
 from repro.platform.spec import (
     BatteryDef,
+    BusDef,
     GemDef,
     IpDef,
     OperatingPointDef,
@@ -123,10 +124,26 @@ class PlatformBuilder:
         self._spec.with_fan = False
         return self
 
-    def bus(self, words_per_second: float = 50e6) -> "PlatformBuilder":
-        """Fit the shared bus."""
-        self._spec.with_bus = True
-        self._spec.bus_words_per_second = float(words_per_second)
+    def bus(
+        self,
+        words_per_second: float = 50e6,
+        arbitration: str = "priority",
+        timing: str = "event_driven",
+        words_per_cycle: int = 1,
+    ) -> "PlatformBuilder":
+        """Fit the shared bus (see :class:`~repro.platform.spec.BusDef`)."""
+        self._spec.bus = BusDef(
+            enabled=True,
+            words_per_second=float(words_per_second),
+            arbitration=arbitration,
+            timing=timing,
+            words_per_cycle=words_per_cycle,
+        )
+        return self
+
+    def no_bus(self) -> "PlatformBuilder":
+        """Build the platform without a shared bus (the default)."""
+        self._spec.bus = BusDef(enabled=False)
         return self
 
     # -- IPs ------------------------------------------------------------
@@ -137,6 +154,7 @@ class PlatformBuilder:
         priority: int = 1,
         initial_state: str = "ON1",
         bus_words_per_task: int = 0,
+        bus_priority: Optional[int] = None,
         operating_points: Optional[Any] = None,
         psm: Union[PsmDef, Mapping[str, Any], None] = None,
         **characterization: Any,
@@ -165,6 +183,7 @@ class PlatformBuilder:
                 static_priority=priority,
                 initial_state=initial_state,
                 bus_words_per_task=bus_words_per_task,
+                bus_priority=bus_priority,
                 operating_points=points,
                 psm=_as_psm(psm, name),
                 **characterization,

@@ -30,6 +30,7 @@ Layout of the tree::
     ├── battery: BatteryDef
     ├── thermal: ThermalDef
     ├── gem: GemDef
+    ├── bus: BusDef
     └── policy: PolicyDef                           (optional)
 
 All ``to_dict`` methods omit fields left at their defaults, so the canonical
@@ -47,6 +48,7 @@ from repro.errors import PlatformError
 __all__ = [
     "SPEC_FORMAT",
     "BatteryDef",
+    "BusDef",
     "GemDef",
     "IpDef",
     "OperatingPointDef",
@@ -73,6 +75,8 @@ BATTERY_CONDITIONS = ("full", "high", "medium", "low", "empty")
 THERMAL_CONDITIONS = ("low", "high")
 POLICY_NAMES = ("paper", "always-on", "greedy-sleep", "fixed-timeout", "oracle")
 PREDICTOR_NAMES = ("fixed", "last-value", "ewma", "adaptive")
+BUS_ARBITRATION_NAMES = ("fifo", "priority")
+BUS_TIMING_NAMES = ("event_driven", "cycle_accurate")
 WORKLOAD_KINDS = (
     "bursty",
     "explicit",
@@ -566,6 +570,7 @@ class IpDef:
     static_priority: int = 1
     initial_state: str = "ON1"
     bus_words_per_task: int = 0
+    bus_priority: Optional[int] = None
     max_frequency_hz: Optional[float] = None
     max_voltage_v: Optional[float] = None
     effective_capacitance_f: Optional[float] = None
@@ -595,6 +600,8 @@ class IpDef:
             data["initial_state"] = self.initial_state
         if self.bus_words_per_task:
             data["bus_words_per_task"] = self.bus_words_per_task
+        if self.bus_priority is not None:
+            data["bus_priority"] = self.bus_priority
         for key in ("max_frequency_hz", "max_voltage_v", "effective_capacitance_f",
                     "idle_activity", "leakage_coefficient"):
             value = getattr(self, key)
@@ -618,9 +625,10 @@ class IpDef:
         _check_keys(
             mapping, path,
             ("name", "workload", "static_priority", "initial_state",
-             "bus_words_per_task", "max_frequency_hz", "max_voltage_v",
-             "effective_capacitance_f", "idle_activity", "leakage_coefficient",
-             "activity_by_class", "residual_fraction", "operating_points", "psm"),
+             "bus_words_per_task", "bus_priority", "max_frequency_hz",
+             "max_voltage_v", "effective_capacitance_f", "idle_activity",
+             "leakage_coefficient", "activity_by_class", "residual_fraction",
+             "operating_points", "psm"),
         )
         name = _get_str(mapping, "name", path, required=True)
         if "workload" not in mapping:
@@ -634,6 +642,7 @@ class IpDef:
             static_priority=_get_int(mapping, "static_priority", path, default=1),
             initial_state=_get_str(mapping, "initial_state", path, default="ON1"),
             bus_words_per_task=_get_int(mapping, "bus_words_per_task", path, default=0),
+            bus_priority=_get_int(mapping, "bus_priority", path),
             max_frequency_hz=_get_float(mapping, "max_frequency_hz", path),
             max_voltage_v=_get_float(mapping, "max_voltage_v", path),
             effective_capacitance_f=_get_float(mapping, "effective_capacitance_f", path),
@@ -672,6 +681,9 @@ class IpDef:
                       ALL_STATE_NAMES, "power state")
         if self.bus_words_per_task < 0:
             _fail(f"{path}.bus_words_per_task", "bus words per task must be >= 0")
+        if self.bus_priority is not None and self.bus_priority < 0:
+            _fail(f"{path}.bus_priority",
+                  f"bus priority must be >= 0, got {self.bus_priority!r}")
         self.workload.validate(f"{path}.workload")
         _check_positive(self.max_frequency_hz, f"{path}.max_frequency_hz", "frequency")
         _check_positive(self.max_voltage_v, f"{path}.max_voltage_v", "voltage")
@@ -708,6 +720,72 @@ class IpDef:
                       "'max_frequency_hz'/'max_voltage_v'")
         if self.psm is not None:
             self.psm.validate(f"{path}.psm")
+
+
+@dataclass
+class BusDef:
+    """The shared on-chip bus: presence, bandwidth, arbitration and timing.
+
+    ``timing`` selects the bus model: ``event_driven`` (immediate grants,
+    exact durations) or ``cycle_accurate`` (the bus owns a materialised
+    clock of ``words_per_second / words_per_cycle`` Hz, grants land only on
+    posedges and durations round up to whole bus cycles).
+    """
+
+    enabled: bool = False
+    words_per_second: float = 50e6
+    arbitration: str = "priority"
+    timing: str = "event_driven"
+    words_per_cycle: int = 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {}
+        if self.enabled:
+            data["enabled"] = True
+        if self.words_per_second != 50e6:
+            data["words_per_second"] = self.words_per_second
+        if self.arbitration != "priority":
+            data["arbitration"] = self.arbitration
+        if self.timing != "event_driven":
+            data["timing"] = self.timing
+        if self.words_per_cycle != 1:
+            data["words_per_cycle"] = self.words_per_cycle
+        return data
+
+    @classmethod
+    def from_dict(cls, value: Any, path: str = "bus") -> "BusDef":
+        mapping = _as_mapping(value, path)
+        _check_keys(
+            mapping, path,
+            ("enabled", "words_per_second", "arbitration", "timing", "words_per_cycle"),
+        )
+        return cls(
+            enabled=_get_bool(mapping, "enabled", path, default=False),
+            words_per_second=_get_float(mapping, "words_per_second", path, default=50e6),
+            arbitration=_get_str(mapping, "arbitration", path, default="priority"),
+            timing=_get_str(mapping, "timing", path, default="event_driven"),
+            words_per_cycle=_get_int(mapping, "words_per_cycle", path, default=1),
+        )
+
+    def has_overrides(self) -> bool:
+        """True when any bus knob differs from the library defaults."""
+        return (self.words_per_second != 50e6 or self.arbitration != "priority"
+                or self.timing != "event_driven" or self.words_per_cycle != 1)
+
+    def validate(self, path: str) -> None:
+        _check_positive(self.words_per_second, f"{path}.words_per_second",
+                        "bus throughput")
+        _check_choice(self.arbitration, f"{path}.arbitration",
+                      BUS_ARBITRATION_NAMES, "arbitration policy")
+        _check_choice(self.timing, f"{path}.timing", BUS_TIMING_NAMES,
+                      "bus timing mode")
+        if (isinstance(self.words_per_cycle, bool)
+                or not isinstance(self.words_per_cycle, int)
+                or self.words_per_cycle < 1):
+            _fail(f"{path}.words_per_cycle",
+                  f"words per cycle must be an integer >= 1, got {self.words_per_cycle!r}")
+        if not self.enabled and self.has_overrides():
+            _fail(path, "bus parameters are set but 'enabled' is false")
 
 
 @dataclass
@@ -942,17 +1020,19 @@ class PlatformSpec:
     battery: BatteryDef = field(default_factory=BatteryDef)
     thermal: ThermalDef = field(default_factory=ThermalDef)
     gem: GemDef = field(default_factory=GemDef)
+    bus: BusDef = field(default_factory=BusDef)
     policy: Optional[PolicyDef] = None
     max_time_ms: float = 5000.0
     sample_interval_us: float = 1000.0
     with_fan: bool = True
     fan_power_w: float = 0.05
-    with_bus: bool = False
-    bus_words_per_second: float = 50e6
+
+    #: legacy (pre-BusDef) top-level spellings, still accepted on read
+    _LEGACY_BUS_KEYS = ("with_bus", "bus_words_per_second")
 
     _TOP_FIELDS = ("format", "name", "description", "ips", "battery", "thermal",
-                   "gem", "policy", "max_time_ms", "sample_interval_us",
-                   "with_fan", "fan_power_w", "with_bus", "bus_words_per_second")
+                   "gem", "bus", "policy", "max_time_ms", "sample_interval_us",
+                   "with_fan", "fan_power_w") + _LEGACY_BUS_KEYS
 
     # -- (de)serialisation ---------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -962,7 +1042,7 @@ class PlatformSpec:
             data["description"] = self.description
         data["ips"] = [ip.to_dict() for ip in self.ips]
         for key, section in (("battery", self.battery), ("thermal", self.thermal),
-                             ("gem", self.gem)):
+                             ("gem", self.gem), ("bus", self.bus)):
             encoded = section.to_dict()
             if encoded:
                 data[key] = encoded
@@ -976,10 +1056,6 @@ class PlatformSpec:
             data["with_fan"] = False
         if self.fan_power_w != 0.05:
             data["fan_power_w"] = self.fan_power_w
-        if self.with_bus:
-            data["with_bus"] = True
-        if self.bus_words_per_second != 50e6:
-            data["bus_words_per_second"] = self.bus_words_per_second
         return data
 
     @classmethod
@@ -1014,6 +1090,7 @@ class PlatformSpec:
                 GemDef() if "gem" not in mapping
                 else GemDef.from_dict(mapping["gem"], f"{path}.gem")
             ),
+            bus=cls._bus_from_mapping(mapping, path),
             policy=(
                 None if "policy" not in mapping
                 else PolicyDef.from_dict(mapping["policy"], f"{path}.policy")
@@ -1023,12 +1100,34 @@ class PlatformSpec:
                                           default=1000.0),
             with_fan=_get_bool(mapping, "with_fan", path, default=True),
             fan_power_w=_get_float(mapping, "fan_power_w", path, default=0.05),
-            with_bus=_get_bool(mapping, "with_bus", path, default=False),
-            bus_words_per_second=_get_float(mapping, "bus_words_per_second", path,
-                                            default=50e6),
         )
         spec.validate()
         return spec
+
+    @classmethod
+    def _bus_from_mapping(cls, mapping: Mapping[str, Any], path: str) -> BusDef:
+        """Read the ``bus`` section, honouring the legacy flat spellings."""
+        legacy = [key for key in cls._LEGACY_BUS_KEYS if key in mapping]
+        if "bus" in mapping:
+            if legacy:
+                _fail(path,
+                      f"'bus' cannot be combined with the legacy key(s) "
+                      f"{_choices(legacy)}")
+            return BusDef.from_dict(mapping["bus"], f"{path}.bus")
+        if not legacy:
+            return BusDef()
+        if not _get_bool(mapping, "with_bus", path, default=False):
+            # In the legacy format a bandwidth without 'with_bus' was inert;
+            # keep such archived specs loading (and equal to bus-less ones),
+            # but still reject values the old validation refused.
+            inert = _get_float(mapping, "bus_words_per_second", path)
+            _check_positive(inert, f"{path}.bus_words_per_second", "bus throughput")
+            return BusDef()
+        return BusDef(
+            enabled=True,
+            words_per_second=_get_float(mapping, "bus_words_per_second", path,
+                                        default=50e6),
+        )
 
     # -- validation -----------------------------------------------------
     def validate(self) -> "PlatformSpec":
@@ -1046,6 +1145,7 @@ class PlatformSpec:
         self.battery.validate("platform.battery")
         self.thermal.validate("platform.thermal")
         self.gem.validate("platform.gem")
+        self.bus.validate("platform.bus")
         if self.policy is not None:
             self.policy.validate("platform.policy")
         _check_positive(self.max_time_ms, "platform.max_time_ms", "max time")
@@ -1053,10 +1153,10 @@ class PlatformSpec:
                         "sample interval")
         if self.fan_power_w < 0:
             _fail("platform.fan_power_w", "fan power must be >= 0")
-        _check_positive(self.bus_words_per_second, "platform.bus_words_per_second",
-                        "bus throughput")
-        if any(ip.bus_words_per_task for ip in self.ips) and not self.with_bus:
-            _fail("platform.with_bus",
-                  "an IP sets 'bus_words_per_task' but the platform has no bus "
-                  "(set 'with_bus': true)")
+        if not self.bus.enabled:
+            for index, ip in enumerate(self.ips):
+                if ip.bus_words_per_task or ip.bus_priority is not None:
+                    _fail("platform.bus",
+                          f"ips[{index}] ({ip.name!r}) sets bus traffic but the "
+                          "platform has no bus (set bus.enabled: true)")
         return self

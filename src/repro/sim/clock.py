@@ -123,6 +123,16 @@ class Clock(Module):
             self.materialize()
         return self._out
 
+    @property
+    def posedge_event(self):
+        """Rising-edge event of :attr:`out`; materialises the clock."""
+        return self.out.posedge_event
+
+    @property
+    def negedge_event(self):
+        """Falling-edge event of :attr:`out`; materialises the clock."""
+        return self.out.negedge_event
+
     def materialize(self) -> Signal[bool]:
         """Create the output signal and toggling thread (idempotent).
 

@@ -106,6 +106,18 @@ class Process:
         """Called by the kernel when a wait of this process matures."""
         raise NotImplementedError
 
+    def kill(self) -> None:
+        """Terminate the process, withdrawing any pending wait.
+
+        The process is removed from every event waiter list and its pending
+        timeout (if any) is cancelled, so nothing will ever resume it again.
+        Killing an already terminated process is a no-op.
+        """
+        if self.terminated:
+            return
+        self.terminated = True
+        self._clear_waits()
+
     def _clear_waits(self) -> None:
         if self._waiting_events:
             for event in self._waiting_events:
@@ -139,6 +151,8 @@ class ThreadProcess(Process):
 
     def start(self) -> None:
         """Create the generator and run it up to its first wait."""
+        if self.terminated:  # killed before the simulation started
+            return
         result = self._func()
         if result is None:
             # A plain function with no yield: it ran to completion already.
@@ -146,6 +160,30 @@ class ThreadProcess(Process):
             return
         self._generator = result
         self._advance()
+
+    def kill(self) -> None:
+        """Terminate the thread, running its pending ``finally`` blocks.
+
+        On top of the base cleanup the suspended generator is closed, which
+        raises ``GeneratorExit`` at the suspension point — ``try/finally``
+        cleanup in the generator (e.g. withdrawing a queued bus request)
+        runs exactly as it would for ordinary generator disposal.
+
+        A process may also kill *itself* (directly or through a synchronous
+        call made from its own frame): the executing generator cannot be
+        closed from within, so termination completes — and the ``finally``
+        blocks run — when the generator reaches its next ``yield``.
+        """
+        if self.terminated:
+            return
+        super().kill()
+        generator = self._generator
+        if generator is None:
+            return
+        if generator.gi_running:
+            return  # self-kill: _advance closes the generator at its next yield
+        self._generator = None
+        generator.close()
 
     def resume(self, trigger: Optional[Event] = None) -> None:
         """Resume after a wait; honours AllOf bookkeeping."""
@@ -175,6 +213,12 @@ class ThreadProcess(Process):
             spec = next(generator)
         except StopIteration:
             self.terminated = True
+            return
+        if self.terminated:
+            # The process killed itself while executing; now that the
+            # generator is suspended it can be closed (finally blocks run).
+            self._generator = None
+            generator.close()
             return
         if isinstance(spec, SimTime):
             # Dominant wait: a plain timed delay, no event registration.
@@ -234,6 +278,8 @@ class MethodProcess(Process):
 
     def start(self) -> None:
         """Run once at time zero (unless ``dont_initialize``) and re-arm."""
+        if self.terminated:  # killed before the simulation started
+            return
         self._rearm()
         if not self.dont_initialize:
             self._func()

@@ -1,7 +1,7 @@
 """SoC substrate: tasks, workloads, functional IPs, bus, service requests and
 the SoC builder that wires everything together (Fig. 1 of the paper)."""
 
-from repro.soc.bus import Bus, BusStatistics
+from repro.soc.bus import Bus, BusLevel, BusRequest, BusStatistics, BusThresholds
 from repro.soc.ip import FunctionalIP
 from repro.soc.service import ServiceChannel, ServiceRequest, ServiceRequestGenerator
 from repro.soc.soc import IpInstance, IpSpec, SoC, SocConfig, build_soc
@@ -18,7 +18,10 @@ from repro.soc.workload import (
 
 __all__ = [
     "Bus",
+    "BusLevel",
+    "BusRequest",
     "BusStatistics",
+    "BusThresholds",
     "FunctionalIP",
     "IpInstance",
     "IpSpec",

@@ -54,12 +54,17 @@ class IpSpec:
     transitions: Optional[TransitionTable] = None
     initial_state: PowerState = PowerState.ON1
     bus_words_per_task: int = 0
+    #: arbitration priority on the shared bus; ``None`` reuses the static
+    #: priority (lower wins), the historical behaviour
+    bus_priority: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ConfigurationError("IP name must be non-empty")
         if self.static_priority < 1:
             raise ConfigurationError("static priority must be >= 1")
+        if self.bus_priority is not None and self.bus_priority < 0:
+            raise ConfigurationError("bus priority must be >= 0")
 
 
 @dataclass
@@ -75,6 +80,9 @@ class SocConfig:
     fan_power_w: float = 0.05
     with_bus: bool = False
     bus_words_per_second: float = 50e6
+    bus_arbitration: str = "priority"
+    bus_timing: str = "event_driven"
+    bus_words_per_cycle: int = 1
     trace_states: bool = False
 
     def __post_init__(self) -> None:
@@ -165,6 +173,9 @@ class SoC(Module):
                 simulator.kernel,
                 "bus",
                 words_per_second=config.bus_words_per_second,
+                arbitration=config.bus_arbitration,
+                timing=config.bus_timing,
+                words_per_cycle=config.bus_words_per_cycle,
                 parent=self,
             )
         self.gem: Optional[GlobalEnergyManager] = None
@@ -321,6 +332,7 @@ def build_soc(
             battery_monitor=soc.battery_monitor,
             temperature_sensor=soc.temperature_sensor,
             fan=soc.fan,
+            bus=soc.bus,
             config=dpm.gem_config,
             parent=soc,
             fast=simulator.accuracy.is_fast,
@@ -356,6 +368,7 @@ def build_soc(
             policy=dpm.make_policy(),
             predictor=dpm.make_predictor(),
             gem=soc.gem,
+            bus=soc.bus,
             static_priority=spec.static_priority,
             config=dpm.lem_config,
             parent=soc,
@@ -370,7 +383,9 @@ def build_soc(
             workload=spec.workload,
             bus=soc.bus,
             bus_words_per_task=spec.bus_words_per_task if soc.bus is not None else 0,
-            bus_priority=spec.static_priority,
+            bus_priority=(
+                spec.static_priority if spec.bus_priority is None else spec.bus_priority
+            ),
             parent=soc,
         )
         ip.connect_lem(lem)

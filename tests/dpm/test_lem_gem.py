@@ -3,7 +3,7 @@
 import pytest
 
 from repro.battery import BatteryConfig
-from repro.dpm import DpmSetup, GemConfig, LemConfig
+from repro.dpm import BusLevel, DpmSetup, GemConfig, LemConfig
 from repro.errors import ConfigurationError
 from repro.power import PowerState
 from repro.sim import ms, sec, us
@@ -262,3 +262,66 @@ class TestGem:
             decisions = soc.instance(name).lem.decisions
             assert decisions
             assert all(d.selected_state is PowerState.ON4 for d in decisions)
+
+
+class TestBusAwareResourceView:
+    """The GEM's resource view and the LEM context include bus occupation."""
+
+    def make_bus_soc(self, timing="event_driven", words=4096):
+        workload = periodic_workload(task_count=3, cycles=100_000, idle=ms(1))
+        specs = [
+            IpSpec(name=f"ip{p}", workload=workload, static_priority=p,
+                   bus_words_per_task=words)
+            for p in (1, 2)
+        ]
+        config = SocConfig(
+            use_gem=True,
+            with_bus=True,
+            bus_words_per_second=2e6,
+            bus_timing=timing,
+            bus_words_per_cycle=8,
+        )
+        return build_soc(specs, config, DpmSetup.paper())
+
+    def test_resource_view_without_a_bus(self):
+        workload = periodic_workload(task_count=1, cycles=50_000, idle=ms(1))
+        soc = build_soc(
+            [IpSpec(name="ip0", workload=workload)],
+            SocConfig(use_gem=True),
+            DpmSetup.paper(),
+        )
+        soc.run_until_done(max_time=sec(1))
+        view = soc.gem.resource_view()
+        assert view.bus is BusLevel.LOW
+        assert view.bus_occupancy == 0.0
+        assert view.battery is soc.battery.level
+        assert view.temperature is soc.thermal.level
+        assert "bus=low" in view.describe()
+
+    def test_resource_view_reports_bus_occupation(self):
+        soc = self.make_bus_soc()
+        soc.run_until_done(max_time=sec(1))
+        assert soc.all_done
+        view = soc.gem.resource_view()
+        assert view.bus_occupancy > 0.0
+        assert view.bus is soc.bus.occupancy_level()
+        assert soc.gem.bus_level() is soc.bus.occupancy_level()
+        assert soc.bus.stats.transfer_count == 6  # 2 IPs x 3 tasks
+
+    def test_lem_context_records_the_bus_level(self):
+        soc = self.make_bus_soc()
+        soc.run_until_done(max_time=sec(1))
+        decisions = [d for lem in soc.lems for d in lem.decisions]
+        assert decisions
+        levels = {decision.bus for decision in decisions}
+        assert levels <= {"low", "medium", "high"}
+        # Heavy per-task traffic on a slow bus: at least one decision was
+        # taken while the bus was measurably occupied.
+        assert soc.bus.occupancy() > 0.0
+
+    def test_cycle_accurate_bus_soc_runs_end_to_end(self):
+        soc = self.make_bus_soc(timing="cycle_accurate")
+        soc.run_until_done(max_time=sec(1))
+        assert soc.all_done
+        assert soc.bus.clock is not None and soc.bus.clock.is_materialized
+        assert soc.bus.stats.transfer_count == 6

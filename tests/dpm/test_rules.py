@@ -9,6 +9,7 @@ from hypothesis import given, strategies as st
 
 from repro.dpm import (
     BatteryLevel,
+    BusLevel,
     Rule,
     RuleContext,
     RuleTable,
@@ -207,3 +208,64 @@ class TestPaperTableProperties:
                 ranks.append(state.performance_rank if state.is_on else -1)
             kept = [rank for rank in ranks if rank >= 0]
             assert kept == sorted(kept)
+
+
+class TestBusDimension:
+    """Bus-occupation conditioning: the fourth rule-table input class."""
+
+    def test_context_defaults_to_low_bus(self):
+        context = RuleContext(P.HIGH, B.FULL, T.LOW)
+        assert context.bus is BusLevel.LOW
+        assert "bus=low" in context.describe()
+
+    def test_bus_wildcard_rules_ignore_the_bus(self, table):
+        for bus in BusLevel:
+            assert table.select(
+                RuleContext(P.HIGH, B.FULL, T.LOW, bus=bus)
+            ) is table.select(RuleContext(P.HIGH, B.FULL, T.LOW))
+
+    def test_bus_constrained_rule_fires_only_on_matching_level(self):
+        throttle = RuleTable(
+            [
+                Rule.of(S.ON4, buses=[BusLevel.HIGH], label="bus-throttle"),
+                Rule.of(S.ON1, label="default"),
+            ],
+            name="bus-aware",
+        )
+        low = RuleContext(P.HIGH, B.FULL, T.LOW, bus=BusLevel.LOW)
+        saturated = RuleContext(P.HIGH, B.FULL, T.LOW, bus=BusLevel.HIGH)
+        assert throttle.select(low) is S.ON1
+        assert throttle.select(saturated) is S.ON4
+        # The first-match cache must key on the bus level too: repeat reads
+        # with both levels stay distinct.
+        assert throttle.select(saturated) is S.ON4
+        assert throttle.select(low) is S.ON1
+
+    def test_coverage_checks_enumerate_the_bus_dimension(self):
+        partial = RuleTable(
+            [Rule.of(S.ON1, buses=[BusLevel.LOW, BusLevel.MEDIUM])],
+            name="bus-partial",
+        )
+        assert not partial.is_total()
+        missing = partial.uncovered_contexts()
+        assert missing and all(ctx.bus is BusLevel.HIGH for ctx in missing)
+        # A bus-agnostic table only visits the default LOW level.
+        assert paper_rule_table().is_total()
+
+    def test_bus_rules_round_trip_through_dicts(self):
+        table = RuleTable(
+            [
+                Rule.of(S.ON3, priorities=[P.LOW], buses=[BusLevel.HIGH], label="r0"),
+                Rule.of(S.ON1, label="fallback"),
+            ],
+            name="bus-serialized",
+        )
+        rebuilt = RuleTable.from_dicts(table.as_dicts(), name="bus-serialized")
+        assert rebuilt.as_dicts() == table.as_dicts()
+        assert rebuilt.select(
+            RuleContext(P.LOW, B.FULL, T.LOW, bus=BusLevel.HIGH)
+        ) is S.ON3
+
+    def test_describe_renders_the_bus_set(self):
+        rule = Rule.of(S.ON4, buses=[BusLevel.HIGH])
+        assert "bus(high)" in rule.describe()

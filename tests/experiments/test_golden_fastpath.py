@@ -77,6 +77,89 @@ def _run_soc(scenario_name, with_materialised_clock):
     return soc, clock, end_time
 
 
+def _materialised_clocks(simulator):
+    """Every materialised Clock reachable from the simulator's module tree."""
+    return [
+        module
+        for top in simulator.top_modules
+        for module in top.walk()
+        if isinstance(module, Clock) and module.is_materialized
+    ]
+
+
+@pytest.mark.parametrize("scenario_name", ["A1", "A2", "A3", "A4", "B", "C"])
+def test_default_scenarios_never_materialise_a_clock(scenario_name):
+    """Virtual-clock regression: the fast path must stay clock-free.
+
+    No default scenario may construct — let alone materialise — a Clock;
+    the only sanctioned consumer of materialised clocks is the
+    cycle-accurate bus, which no paper scenario fits.
+    """
+    scenario = scenario_by_name(scenario_name)
+    config = scenario.build_config()
+    simulator = Simulator(name=config.name)
+    soc = build_soc(scenario.build_specs(), config, DpmSetup.paper(), simulator=simulator)
+    soc.run_until_done(max_time=scenario.max_time)
+    clocks = [
+        module
+        for top in simulator.top_modules
+        for module in top.walk()
+        if isinstance(module, Clock)
+    ]
+    assert clocks == [], f"scenario {scenario_name} constructed clocks: {clocks}"
+
+
+def test_event_driven_bus_stays_on_the_virtual_clock_fast_path():
+    """A bus-bearing platform in the default timing mode adds no clock."""
+    from repro.platform import PlatformBuilder
+    from repro.platform.build import to_scenario
+
+    spec = (
+        PlatformBuilder("busy-virtual")
+        .bus(words_per_second=5e6)
+        .ip("a", workload={"kind": "periodic", "task_count": 4, "cycles": 20000,
+                           "idle_us": 100.0}, bus_words_per_task=64)
+        .ip("b", workload={"kind": "periodic", "task_count": 4, "cycles": 10000,
+                           "idle_us": 80.0}, priority=2, bus_words_per_task=128)
+        .max_time_ms(50)
+        .build()
+    )
+    scenario = to_scenario(spec)
+    config = scenario.build_config()
+    simulator = Simulator(name=config.name)
+    soc = build_soc(scenario.build_specs(), config, DpmSetup.paper(), simulator=simulator)
+    soc.run_until_done(max_time=scenario.max_time)
+    assert soc.bus is not None
+    assert soc.bus.stats.transfer_count > 0
+    assert soc.bus.clock is None
+    assert _materialised_clocks(simulator) == []
+
+
+def test_cycle_accurate_bus_materialises_exactly_one_clock():
+    from repro.platform import PlatformBuilder
+    from repro.platform.build import to_scenario
+
+    spec = (
+        PlatformBuilder("busy-accurate")
+        .bus(words_per_second=5e6, timing="cycle_accurate", words_per_cycle=4)
+        .ip("a", workload={"kind": "periodic", "task_count": 4, "cycles": 20000,
+                           "idle_us": 100.0}, bus_words_per_task=64)
+        .ip("b", workload={"kind": "periodic", "task_count": 4, "cycles": 10000,
+                           "idle_us": 80.0}, priority=2, bus_words_per_task=128)
+        .max_time_ms(50)
+        .build()
+    )
+    scenario = to_scenario(spec)
+    config = scenario.build_config()
+    simulator = Simulator(name=config.name)
+    soc = build_soc(scenario.build_specs(), config, DpmSetup.paper(), simulator=simulator)
+    soc.run_until_done(max_time=scenario.max_time)
+    assert soc.bus.stats.transfer_count > 0
+    clocks = _materialised_clocks(simulator)
+    assert clocks == [soc.bus.clock]
+    assert soc.bus.clock.out.change_count > 0
+
+
 @pytest.mark.parametrize("scenario_name", ["A1", "B"])
 def test_virtual_and_materialised_clocks_give_identical_results(scenario_name):
     """A materialised clock adds edges and activations but must not change

@@ -253,3 +253,170 @@ class TestCliPlatform:
         finally:
             if has_platform("cli-policy"):
                 unregister_platform("cli-policy")
+
+
+def bus_platform(name: str = "contended", timing: str = "cycle_accurate") -> PlatformSpec:
+    """Two IPs contending for a slow shared bus."""
+    return (
+        PlatformBuilder(name)
+        .describe("bandwidth-contended two-IP platform")
+        .bus(words_per_second=2e6, arbitration="priority", timing=timing,
+             words_per_cycle=8)
+        .ip("dsp", workload={"kind": "periodic", "task_count": 4, "cycles": 20000,
+                             "idle_us": 50.0},
+            priority=1, bus_words_per_task=256)
+        .ip("io", workload={"kind": "periodic", "task_count": 4, "cycles": 10000,
+                            "idle_us": 30.0},
+            priority=2, bus_words_per_task=512, bus_priority=0)
+        .max_time_ms(50)
+        .build()
+    )
+
+
+class TestBusPlatforms:
+    def test_bus_spec_round_trips_through_a_json_file(self, tmp_path):
+        spec = bus_platform()
+        path = tmp_path / "contended.json"
+        save_platform(spec, str(path))
+        loaded = load_platform(str(path))
+        assert loaded == spec
+        assert loaded.bus.timing == "cycle_accurate"
+        assert loaded.ips[1].bus_priority == 0
+
+    def test_legacy_flat_bus_keys_still_load(self):
+        data = {
+            "name": "legacy",
+            "ips": [{"name": "ip0",
+                     "workload": {"kind": "periodic", "task_count": 1},
+                     "bus_words_per_task": 8}],
+            "with_bus": True,
+            "bus_words_per_second": 1e6,
+        }
+        spec = PlatformSpec.from_dict(data)
+        assert spec.bus.enabled
+        assert spec.bus.words_per_second == 1e6
+        # The canonical encoding uses the BusDef section.
+        assert spec.to_dict()["bus"] == {"enabled": True, "words_per_second": 1e6}
+
+    def test_legacy_inert_bandwidth_without_with_bus_still_loads(self):
+        # The old to_dict emitted 'bus_words_per_second' whenever it
+        # differed from the default, even with the bus disabled; such
+        # archived specs must keep loading (as bus-less platforms).
+        data = {
+            "name": "legacy-inert",
+            "ips": [{"name": "ip0",
+                     "workload": {"kind": "periodic", "task_count": 1}}],
+            "bus_words_per_second": 30e6,
+        }
+        spec = PlatformSpec.from_dict(data)
+        assert not spec.bus.enabled
+        assert "bus" not in spec.to_dict()
+
+    def test_legacy_inert_bandwidth_must_still_be_positive(self):
+        from repro.errors import PlatformError
+
+        data = {
+            "name": "legacy-bad",
+            "ips": [{"name": "ip0",
+                     "workload": {"kind": "periodic", "task_count": 1}}],
+            "bus_words_per_second": -5.0,
+        }
+        with pytest.raises(PlatformError, match="bus throughput"):
+            PlatformSpec.from_dict(data)
+
+    def test_non_integer_words_per_cycle_fails_spec_validation(self):
+        from repro.errors import PlatformError
+
+        with pytest.raises(PlatformError, match="words_per_cycle"):
+            (
+                PlatformBuilder("bad")
+                .bus(timing="cycle_accurate", words_per_cycle=2.0)
+                .ip("ip0", workload={"kind": "periodic", "task_count": 1})
+                .build()
+            )
+
+    def test_legacy_and_new_bus_keys_conflict(self):
+        from repro.errors import PlatformError
+
+        data = {
+            "name": "conflict",
+            "ips": [{"name": "ip0", "workload": {"kind": "periodic", "task_count": 1}}],
+            "with_bus": True,
+            "bus": {"enabled": True},
+        }
+        with pytest.raises(PlatformError, match="legacy"):
+            PlatformSpec.from_dict(data)
+
+    def test_cycle_accurate_platform_grants_only_on_posedges(self):
+        scenario = to_scenario(bus_platform())
+        artifacts = run_scenario(scenario)
+        bus = artifacts.soc.bus
+        assert bus.clock is not None and bus.clock.is_materialized
+        assert bus.stats.transfer_count == 8
+        # Reconstruct the grant instants: every completed task performed one
+        # transfer, and in cycle-accurate mode both the grant and the
+        # release of every transfer land on the bus-cycle grid.
+        period_fs = int(bus.clock.period)
+        assert bus.stats.busy_time % period_fs == 0
+        summary = artifacts.bus_summary()
+        assert summary["transfer_count"] == 8.0
+        assert summary["occupancy_pct"] > 0.0
+
+    def test_bus_metrics_flow_into_scenario_metrics(self):
+        metrics = run_comparison(bus_platform())
+        assert metrics.has_bus_figures
+        assert metrics.bus_transfer_count == 8
+        assert metrics.bus_words_transferred == 4 * 256 + 4 * 512
+        assert metrics.bus_occupancy_pct > 0.0
+        assert metrics.bus_cancelled_count == 0
+        data = metrics.as_dict()
+        assert data["bus_transfer_count"] == 8
+        assert data["bus_cancelled_count"] == 0
+        # Bus-less runs keep their historical record shape.
+        busless = run_comparison(tiny_platform())
+        assert not busless.has_bus_figures
+        assert "bus_transfer_count" not in busless.as_dict()
+
+    def test_timing_modes_are_distinct_campaign_cells(self):
+        # The canonical encodings differ, so a campaign grid sweeping both
+        # timing modes gets two separately cached jobs.
+        fast = normalize_scenario(
+            {"kind": "platform", "spec": bus_platform("h", "event_driven").to_dict()}
+        )
+        accurate = normalize_scenario(
+            {"kind": "platform", "spec": bus_platform("h", "cycle_accurate").to_dict()}
+        )
+        assert fast != accurate
+        assert "timing" not in fast["spec"]["bus"]  # default mode omitted
+        assert accurate["spec"]["bus"]["timing"] == "cycle_accurate"
+
+    def test_campaign_runs_a_bus_platform_grid(self, tmp_path):
+        spec = CampaignSpec.from_dict(
+            {
+                "name": "bus-grid",
+                "scenarios": [
+                    {"kind": "platform", "spec": bus_platform().to_dict()},
+                ],
+                "setups": ["paper"],
+            }
+        )
+        summary = run_campaign(spec, str(tmp_path / "campaign"), workers=1)
+        assert summary.ok == 1 and summary.errors == 0
+        from repro.campaign import ResultStore
+
+        records = ResultStore(str(tmp_path / "campaign")).records()
+        assert len(records) == 1
+        assert records[0]["metrics"]["bus_transfer_count"] == 8
+        # Rebuilt records rehydrate the typed bus fields (not just 'extra').
+        from repro.campaign.aggregate import aggregate_records, record_metrics
+
+        rebuilt = record_metrics(records[0])
+        assert rebuilt.has_bus_figures
+        assert rebuilt.bus_transfer_count == 8
+        assert rebuilt.bus_occupancy_pct > 0.0
+        assert "bus_transfer_count" not in rebuilt.extra
+        aggregated = aggregate_records(records)
+        assert aggregated[0].bus_transfer_count == 8
+        assert aggregated[0].bus_occupancy_pct == pytest.approx(
+            rebuilt.bus_occupancy_pct
+        )

@@ -9,6 +9,7 @@ from repro.errors import PlatformError
 from repro.platform import (
     SPEC_FORMAT,
     BatteryDef,
+    BusDef,
     GemDef,
     IpDef,
     OperatingPointDef,
@@ -75,6 +76,7 @@ def rich_spec() -> PlatformSpec:
                 static_priority=2,
                 initial_state="SL1",
                 bus_words_per_task=16,
+                bus_priority=3,
             ),
         ],
         battery=BatteryDef(condition="low", capacity_j=100.0, on_ac_power=False),
@@ -87,8 +89,8 @@ def rich_spec() -> PlatformSpec:
         max_time_ms=123.0,
         sample_interval_us=500.0,
         with_fan=False,
-        with_bus=True,
-        bus_words_per_second=10e6,
+        bus=BusDef(enabled=True, words_per_second=10e6, arbitration="fifo",
+                   timing="cycle_accurate", words_per_cycle=4),
     )
 
 
@@ -255,7 +257,7 @@ class TestValidationErrors:
     def test_bus_words_require_a_bus(self):
         data = self.base()
         data["ips"][0]["bus_words_per_task"] = 4
-        with pytest.raises(PlatformError, match="with_bus"):
+        with pytest.raises(PlatformError, match="bus.enabled"):
             PlatformSpec.from_dict(data)
 
     def test_missing_ips(self):

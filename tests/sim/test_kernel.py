@@ -310,3 +310,119 @@ class TestKernelControl:
         kernel.create_thread(spawner, "spawner")
         kernel.run()
         assert log == [("late", 7.0)]
+
+
+class TestProcessKill:
+    def test_kill_clears_a_pending_timed_wait(self, kernel):
+        log = []
+
+        def victim():
+            yield us(10)
+            log.append("victim")  # pragma: no cover - must not run
+
+        def killer(process):
+            def proc():
+                yield us(1)
+                process.kill()
+            return proc
+
+        process = kernel.create_thread(victim, "victim")
+        kernel.create_thread(killer(process), "killer")
+        kernel.run()
+        assert log == []
+        assert process.terminated
+        assert not kernel.pending_activity
+
+    def test_kill_removes_the_process_from_event_waiters(self, kernel):
+        log = []
+        event = kernel.event("gate")
+
+        def victim():
+            yield event
+            log.append("victim")  # pragma: no cover - must not run
+
+        def driver(process):
+            def proc():
+                yield us(1)
+                process.kill()
+                event.notify()
+                yield us(1)
+            return proc
+
+        process = kernel.create_thread(victim, "victim")
+        kernel.create_thread(driver(process), "driver")
+        kernel.run()
+        assert log == []
+        assert event.waiter_count == 0
+
+    def test_kill_runs_finally_blocks(self, kernel):
+        cleanup = []
+
+        def victim():
+            try:
+                yield us(10)
+            finally:
+                cleanup.append("cleaned")
+
+        def killer(process):
+            def proc():
+                yield us(1)
+                process.kill()
+            return proc
+
+        process = kernel.create_thread(victim, "victim")
+        kernel.create_thread(killer(process), "killer")
+        kernel.run()
+        assert cleanup == ["cleaned"]
+
+    def test_kill_is_idempotent_and_safe_after_termination(self, kernel):
+        def short():
+            yield ns(1)
+
+        process = kernel.create_thread(short, "short")
+        kernel.run()
+        assert process.terminated
+        process.kill()  # no-op
+        process.kill()
+        assert process.terminated
+
+    def test_kill_before_start_prevents_any_execution(self, kernel):
+        log = []
+
+        def victim():
+            log.append("started")
+            yield ns(1)
+
+        process = kernel.create_thread(victim, "victim")
+        process.kill()
+        kernel.run()
+        assert log == []
+        assert process.terminated
+
+    def test_self_kill_terminates_at_the_next_yield(self, kernel):
+        log = []
+        cleanup = []
+        holder = {}
+
+        def victim():
+            try:
+                log.append("before")
+                holder["p"].kill()  # self-kill from the executing frame
+                log.append("after-kill")
+                yield us(1)
+                log.append("resumed")  # pragma: no cover - must not run
+            finally:
+                cleanup.append("cleaned")
+
+        def bystander():
+            yield us(5)
+            log.append("bystander")
+
+        holder["p"] = kernel.create_thread(victim, "victim")
+        kernel.create_thread(bystander, "bystander")
+        kernel.run()
+        # The self-killing frame runs to its next yield, then terminates
+        # with its finally blocks; the rest of the simulation continues.
+        assert log == ["before", "after-kill", "bystander"]
+        assert cleanup == ["cleaned"]
+        assert holder["p"].terminated
