@@ -62,6 +62,36 @@ def test_simulation_speed_multi_ip_fast(benchmark):
     _bench_scenario(benchmark, "B", "fast", 7.5)
 
 
+@pytest.mark.benchmark(group="sim-speed")
+def test_simulation_speed_single_ip_traced(benchmark, tmp_path):
+    """A1 with jsonl event tracing enabled.
+
+    Tracked against ``test_simulation_speed_single_ip`` in the dashboard:
+    the gap between the two is the live cost of the instrumentation hooks
+    (which must stay small — the disabled-hook cost is bounded separately
+    by the goldens staying bit-identical).
+    """
+    from repro.obs import TraceRequest
+
+    request = TraceRequest(format="jsonl", path=str(tmp_path / "a1.jsonl"))
+
+    def run():
+        return run_scenario(
+            scenario_by_name("A1"), DpmSetup.paper(), accuracy="exact",
+            trace=request,
+        )
+
+    artefacts = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert artefacts.trace_path is not None
+    speed = artefacts.kilocycles_per_second()
+    benchmark.extra_info["kilocycles_per_second"] = round(speed, 1)
+    benchmark.extra_info["paper_kilocycles_per_second"] = 35.0
+    benchmark.extra_info["scenario"] = "A1-traced"
+    benchmark.extra_info["accuracy"] = "exact"
+    print(f"\n[sim-speed A1/traced] {speed:.0f} Kcycle/s")
+    assert speed > 35.0
+
+
 def _bus_contention_platform(timing: str):
     """Four IPs hammering one shared bus: the materialised-clock stress case.
 

@@ -130,6 +130,7 @@ def execute_job(
     job_dict: Mapping[str, Any],
     timeout_s: Optional[float] = None,
     baseline_figures: Optional[Mapping[str, Any]] = None,
+    trace: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Run one campaign job and return its result record (never raises).
 
@@ -137,6 +138,11 @@ def execute_job(
     successful jobs add ``metrics`` and ``per_ip``, failed jobs add ``error``.
     ``baseline_figures`` (a stored shared-baseline dictionary) skips the
     baseline simulation; runs are deterministic, so the result is identical.
+
+    ``trace`` is an optional ``{"format": ..., "path": ...}`` mapping: the
+    job's DPM run is traced to that file and successful records carry the
+    path under ``"trace"``.  Tracing lives outside :class:`JobSpec`, so the
+    job hash — and with it ``--resume`` — is unaffected.
     """
     from repro.experiments.runner import BaselineFigures, run_comparison
 
@@ -158,6 +164,11 @@ def execute_job(
             record["baseline_key"] = job.baseline_key
         except (KeyError, TypeError, ValueError):
             figures = None  # corrupt cache entry: recompute the baseline
+    trace_request: Any = False
+    if trace is not None:
+        from repro.obs import TraceRequest
+
+        trace_request = TraceRequest(format=trace["format"], path=trace["path"])
     wall_start = time.perf_counter()
     try:
         scenario = build_scenario(job.scenario, seed=job.seed)
@@ -168,6 +179,7 @@ def execute_job(
                 baseline=build_setup(job.baseline),
                 accuracy=job.accuracy,
                 baseline_figures=figures,
+                trace=trace_request,
             ),
             timeout_s,
         )
@@ -188,14 +200,16 @@ def execute_job(
         record["status"] = "ok"
         record["metrics"] = metrics.as_dict()
         record["per_ip"] = metrics.per_ip
+        if trace is not None:
+            record["trace"] = str(trace["path"])
     record["wall_clock_s"] = time.perf_counter() - wall_start
     return record
 
 
 def _execute_job_star(payload) -> Dict[str, Any]:
-    """Pool adapter: unpack ``(job_dict, timeout_s, baseline_figures)``."""
-    job_dict, timeout_s, baseline_figures = payload
-    return execute_job(job_dict, timeout_s, baseline_figures)
+    """Pool adapter: unpack ``(job_dict, timeout_s, baseline_figures, trace)``."""
+    job_dict, timeout_s, baseline_figures, trace = payload
+    return execute_job(job_dict, timeout_s, baseline_figures, trace)
 
 
 def _execute_baseline_star(payload) -> Dict[str, Any]:
@@ -211,6 +225,7 @@ def run_campaign(
     resume: bool = False,
     job_timeout_s: Optional[float] = None,
     progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+    trace_format: Optional[str] = None,
 ) -> CampaignSummary:
     """Execute a campaign grid, persisting every result to ``directory``.
 
@@ -231,12 +246,33 @@ def run_campaign(
         Per-job wall-clock timeout (overrides ``spec.job_timeout_s``).
     progress:
         Optional callback invoked with each record as it is stored.
+    trace_format:
+        When set (``"jsonl"`` or ``"perfetto"``), every executed job's DPM
+        run is traced to ``<directory>/traces/<job_id>.<ext>`` and its
+        record carries the path.  Job hashes are unaffected, so ``--resume``
+        still matches records produced without tracing (and vice versa).
     """
     if workers < 1:
         raise CampaignError("workers must be >= 1")
     timeout_s = job_timeout_s if job_timeout_s is not None else spec.job_timeout_s
     store = ResultStore(directory)
     store.write_manifest(spec.to_dict())
+    job_trace: Callable[[JobSpec], Optional[Dict[str, Any]]] = lambda job: None
+    if trace_format is not None:
+        from repro.obs import TRACE_EXTENSIONS
+
+        if trace_format not in ("jsonl", "perfetto"):
+            raise CampaignError(
+                f"campaign tracing supports jsonl/perfetto, not {trace_format!r}"
+            )
+        store.traces_dir.mkdir(parents=True, exist_ok=True)
+        extension = TRACE_EXTENSIONS[trace_format]
+
+        def job_trace(job: JobSpec) -> Optional[Dict[str, Any]]:
+            return {
+                "format": trace_format,
+                "path": str(store.traces_dir / f"{job.job_id}.{extension}"),
+            }
     jobs = spec.jobs()
     summary = CampaignSummary(campaign=spec.name, total_jobs=len(jobs))
     done = store.job_ids(status="ok") if resume else set()
@@ -297,7 +333,8 @@ def run_campaign(
         for job in missing:
             consume_baseline(execute_baseline(job.to_dict(), timeout_s))
         for job in pending:
-            consume(execute_job(job.to_dict(), timeout_s, cached_figures.get(job.baseline_key)))
+            consume(execute_job(job.to_dict(), timeout_s,
+                                cached_figures.get(job.baseline_key), job_trace(job)))
     else:
         import multiprocessing
 
@@ -308,7 +345,8 @@ def run_campaign(
                     for record in pool.imap_unordered(_execute_baseline_star, baseline_payloads):
                         consume_baseline(record)
                 payloads = [
-                    (job.to_dict(), timeout_s, cached_figures.get(job.baseline_key))
+                    (job.to_dict(), timeout_s, cached_figures.get(job.baseline_key),
+                     job_trace(job))
                     for job in pending
                 ]
                 for record in pool.imap_unordered(_execute_job_star, payloads):

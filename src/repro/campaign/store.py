@@ -6,6 +6,8 @@ A campaign directory looks like::
         campaign.json           # the normalized spec that produced the grid
         records/
             <job_id>.json       # one result record per executed job
+        traces/
+            <job_id>.<ext>      # per-job event traces (campaign run --trace)
 
 Each record file is named after :attr:`~repro.campaign.spec.JobSpec.job_id`
 (the hash of the job description), which makes the store *content-addressed*:
@@ -29,6 +31,7 @@ __all__ = ["ResultStore"]
 _MANIFEST = "campaign.json"
 _RECORDS = "records"
 _BASELINES = "baselines"
+_TRACES = "traces"
 
 
 class ResultStore:
@@ -44,6 +47,7 @@ class ResultStore:
         self.root = Path(root)
         self.records_dir = self.root / _RECORDS
         self.baselines_dir = self.root / _BASELINES
+        self.traces_dir = self.root / _TRACES
         # The directories are created lazily by the write paths, so read-only
         # commands (status/report) on a mistyped path have no side effects.
 

@@ -21,8 +21,13 @@ Subcommands
     Run, inspect or report a parallel experiment campaign described by a
     JSON/TOML spec file (see :mod:`repro.campaign`).
 ``platform``
-    Validate, inspect, list or run declarative platform specs — user-defined
-    SoCs as JSON/TOML files (see :mod:`repro.platform`).
+    Validate, inspect, diff, list or run declarative platform specs —
+    user-defined SoCs as JSON/TOML files (see :mod:`repro.platform`).
+
+Run-style subcommands (``scenario``, ``platform run``) accept
+``--trace [FORMAT]``/``--trace-format``/``--trace-out`` to record a
+structured event trace of the DPM run (see :mod:`repro.obs`);
+``campaign run --trace`` stores one trace per job next to the records.
 """
 
 from __future__ import annotations
@@ -76,6 +81,30 @@ def build_parser() -> argparse.ArgumentParser:
             "(toleranced fast math; see README 'Accuracy modes')",
         )
 
+    def add_trace_flags(sub) -> None:
+        sub.add_argument(
+            "--trace",
+            nargs="?",
+            const="jsonl",
+            default=None,
+            choices=["jsonl", "perfetto", "vcd"],
+            metavar="FORMAT",
+            help="trace the DPM run (jsonl, perfetto or vcd; bare --trace "
+            "means jsonl); overrides the spec's trace section",
+        )
+        sub.add_argument(
+            "--trace-format",
+            choices=["jsonl", "perfetto", "vcd"],
+            default=None,
+            help="trace format (implies --trace; wins over --trace FORMAT)",
+        )
+        sub.add_argument(
+            "--trace-out",
+            default=None,
+            metavar="FILE",
+            help="trace output file (default: <scenario>_trace.<ext>)",
+        )
+
     table2 = subparsers.add_parser("table2", help="reproduce the paper's Table 2")
     table2.add_argument(
         "scenarios",
@@ -99,6 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="DPM setup to evaluate (default: the platform's policy, else 'paper')",
     )
     add_accuracy_flag(scenario)
+    add_trace_flags(scenario)
 
     rules = subparsers.add_parser("rules", help="print or query the Table-1 rules")
     rules.add_argument("--priority", choices=[p.value for p in TaskPriority])
@@ -151,6 +181,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["exact", "fast"],
         default=None,
         help="override the spec's accuracy mode for every job",
+    )
+    campaign_run.add_argument(
+        "--trace",
+        nargs="?",
+        const="jsonl",
+        default=None,
+        choices=["jsonl", "perfetto"],
+        metavar="FORMAT",
+        help="trace every job's DPM run; per-job files land in the campaign "
+        "directory's traces/ folder (bare --trace means jsonl)",
     )
 
     campaign_status_p = campaign_sub.add_parser(
@@ -207,6 +247,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="DPM setup to evaluate (default: the spec's policy, else 'paper')",
     )
     add_accuracy_flag(platform_run)
+    add_trace_flags(platform_run)
+
+    platform_diff = platform_sub.add_parser(
+        "diff", help="compare two platform specs field by field (exit 1 when they differ)"
+    )
+    platform_diff.add_argument(
+        "spec_a", metavar="SPEC_A",
+        help="first spec: a .json/.toml file or a registered platform name",
+    )
+    platform_diff.add_argument(
+        "spec_b", metavar="SPEC_B",
+        help="second spec: a .json/.toml file or a registered platform name",
+    )
 
     platform_sub.add_parser("list", help="list the registered platform names")
 
@@ -234,10 +287,37 @@ def _cmd_scenario(args) -> int:
     # None defers to the platform's own policy (when the scenario is
     # platform-backed and declares one), exactly like `platform run`.
     setup = None if args.setup is None else _SETUPS[args.setup]()
-    metrics = run_comparison(scenario, dpm=setup, accuracy=args.accuracy)
+    request = _trace_request(args, scenario)
+    metrics = run_comparison(
+        scenario, dpm=setup, accuracy=args.accuracy,
+        trace=request if request is not None else False,
+    )
     setup_name = args.setup or _default_setup_name(scenario)
     _print_comparison(scenario, setup_name, args.accuracy, metrics)
+    if request is not None:
+        print(f"\ntrace written to {request.resolve_path(scenario.name)}")
     return 0
+
+
+def _trace_request(args, scenario):
+    """The effective trace request of one CLI run (None when untraced).
+
+    Explicit ``--trace``/``--trace-format`` flags win; without them the
+    platform spec's ``trace:`` section applies (when the scenario came
+    from one).
+    """
+    from repro.obs import TraceRequest
+
+    fmt = getattr(args, "trace_format", None) or getattr(args, "trace", None)
+    if fmt is not None:
+        return TraceRequest(format=fmt, path=getattr(args, "trace_out", None))
+    spec = getattr(scenario, "spec", None)
+    request = TraceRequest.from_trace_def(getattr(spec, "trace", None))
+    out = getattr(args, "trace_out", None)
+    if request is not None and out is not None:
+        request = TraceRequest(format=request.format, path=out,
+                               events=request.events)
+    return request
 
 
 def _default_setup_name(scenario) -> str:
@@ -416,6 +496,7 @@ def _cmd_campaign_inner(args) -> int:
             resume=args.resume,
             job_timeout_s=args.timeout,
             progress=progress,
+            trace_format=args.trace,
         )
         print(
             f"campaign {summary.campaign!r}: {summary.total_jobs} jobs, "
@@ -473,11 +554,13 @@ def _load_platform_arg(args):
 
 def _cmd_platform_inner(args) -> int:
     if args.platform_command is None:
-        print("error: platform needs a subcommand (validate, show, run or list)",
+        print("error: platform needs a subcommand (validate, show, run, diff or list)",
               file=sys.stderr)
         return 2
     if args.platform_command == "validate":
         return _cmd_platform_validate(args)
+    if args.platform_command == "diff":
+        return _cmd_platform_diff(args)
     if args.platform_command == "list":
         from repro.platform import PAPER_PLATFORM_NAMES, platform_by_name, platform_names
 
@@ -503,10 +586,39 @@ def _cmd_platform_inner(args) -> int:
 
     scenario = to_scenario(spec)
     setup = None if args.setup is None else _SETUPS[args.setup]()
-    metrics = run_comparison(scenario, dpm=setup, accuracy=args.accuracy)
+    request = _trace_request(args, scenario)
+    metrics = run_comparison(
+        scenario, dpm=setup, accuracy=args.accuracy,
+        trace=request if request is not None else False,
+    )
     setup_name = args.setup or _default_setup_name(scenario)
     _print_comparison(scenario, setup_name, args.accuracy, metrics)
+    if request is not None:
+        print(f"\ntrace written to {request.resolve_path(scenario.name)}")
     return 0
+
+
+def _load_spec_or_name(value):
+    """Resolve a positional spec argument: a file path or a registered name."""
+    import os
+
+    from repro.platform import load_platform, platform_by_name
+
+    if os.path.exists(value) or value.endswith((".json", ".toml")):
+        return load_platform(value)
+    return platform_by_name(value)
+
+
+def _cmd_platform_diff(args) -> int:
+    from repro.platform import diff_specs, render_spec_diff
+
+    spec_a = _load_spec_or_name(args.spec_a)
+    spec_b = _load_spec_or_name(args.spec_b)
+    if not diff_specs(spec_a, spec_b):
+        print(f"specs are identical ({args.spec_a} == {args.spec_b})")
+        return 0
+    print(render_spec_diff(spec_a, spec_b, label_a=args.spec_a, label_b=args.spec_b))
+    return 1
 
 
 def _cmd_platform_validate(args) -> int:

@@ -398,6 +398,10 @@ class GlobalEnergyManager(Module):
             self._enable_map_cache[min_rank] = cached
         return cached
 
+    #: structured-tracing hook (repro.obs); None keeps the hook site to a
+    #: single attribute test, so untraced runs stay bit-identical
+    _tracer = None
+
     def _apply(self, new_enabled: Dict[str, bool], disabled: tuple, fan_on: bool) -> None:
         changed = new_enabled is not self._enabled and new_enabled != self._enabled
         self._enabled = new_enabled
@@ -413,6 +417,22 @@ class GlobalEnergyManager(Module):
                 if not lem.is_busy:
                     lem.force_low_power(forced)
         if changed:
+            tracer = self._tracer
+            if tracer is not None:
+                view = self.resource_view()
+                tracer.emit(
+                    self.kernel.now_fs, "gem.decision", self.name,
+                    enabled=[name for name, on in new_enabled.items() if on],
+                    disabled=list(disabled),
+                    fan_on=fan_on,
+                    battery=str(view.battery),
+                    temperature=str(view.temperature),
+                    bus=str(view.bus),
+                    state_of_charge=view.state_of_charge,
+                    temperature_c=view.temperature_c,
+                    bus_occupancy=view.bus_occupancy,
+                    pending_energy_j=view.pending_energy_j,
+                )
             self.enable_changed.notify()
 
     # ------------------------------------------------------------------

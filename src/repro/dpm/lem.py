@@ -182,6 +182,10 @@ class LocalEnergyManager(Module):
         if self.gem is not None:
             self.gem.register_lem(self, static_priority)
 
+    #: structured-tracing hook (repro.obs); None keeps every hook site to a
+    #: single attribute test, so untraced runs stay bit-identical
+    _tracer = None
+
     # ------------------------------------------------------------------
     # IP-facing interface
     # ------------------------------------------------------------------
@@ -309,6 +313,21 @@ class LocalEnergyManager(Module):
                     bus=str(context.bus),
                 )
             )
+        tracer = self._tracer
+        if tracer is not None:
+            now_fs = self.kernel.now_fs
+            tracer.emit(
+                now_fs, "lem.decision", self.ip_name,
+                task=grant.task.name,
+                state=str(selected),
+                priority=str(grant.task.priority),
+                battery=str(context.battery),
+                temperature=str(context.temperature),
+                bus=str(context.bus),
+                deferrals=deferrals,
+                wait_us=(now_fs - int(grant.request_time)) / 1e9,
+                other_ip_energy_j=context.other_ip_energy_j,
+            )
         grant.event.notify()
 
     def _fast_idle_decision(self) -> None:
@@ -329,6 +348,10 @@ class LocalEnergyManager(Module):
         if psm.state is not target and not psm.is_transitioning:
             psm.request_state(target)
             self.sleep_decisions += 1
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.emit(self.kernel.now_fs, "lem.sleep", self.ip_name,
+                            state=str(target), reason="idle")
 
     def notify_task_complete(self, task: Task, next_idle_hint: Optional[SimTime] = None) -> None:
         """Called by the IP right after ``task`` finished executing."""
@@ -382,6 +405,10 @@ class LocalEnergyManager(Module):
         if self.psm.state is not state and not self.psm.is_transitioning:
             self.psm.request_state(state)
             self.sleep_decisions += 1
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.emit(self.kernel.now_fs, "lem.sleep", self.ip_name,
+                            state=str(state), reason="forced")
 
     # ------------------------------------------------------------------
     # Estimation helpers
@@ -442,6 +469,12 @@ class LocalEnergyManager(Module):
                     break
                 deferrals += 1
                 self.deferral_count += 1
+                tracer = self._tracer
+                if tracer is not None:
+                    tracer.emit(
+                        self.kernel.now_fs, "lem.deferral", self.ip_name,
+                        task=grant.task.name, state=str(self.config.defer_state),
+                    )
                 if self.psm.state is not self.config.defer_state and not self.psm.is_transitioning:
                     self.psm.request_state(self.config.defer_state)
                 yield self._reeval_timer()
@@ -485,3 +518,12 @@ class LocalEnergyManager(Module):
             if self.psm.state is not target and not self.psm.is_transitioning:
                 self.psm.request_state(target)
                 self.sleep_decisions += 1
+                tracer = self._tracer
+                if tracer is not None:
+                    reason = (
+                        "timeout"
+                        if self.policy.uses_timeout and self.policy.idle_timeout is not None
+                        else "idle"
+                    )
+                    tracer.emit(self.kernel.now_fs, "lem.sleep", self.ip_name,
+                                state=str(target), reason=reason)

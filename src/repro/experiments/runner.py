@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import time as _wallclock
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.analysis.metrics import ScenarioMetrics, compare_runs
@@ -93,6 +94,8 @@ class RunArtifacts:
     wall_clock_s: float
     executions: List[TaskExecution] = field(default_factory=list)
     accuracy: AccuracyMode = AccuracyMode.EXACT
+    #: Where the run's event/waveform trace was written (None when untraced).
+    trace_path: Optional[Path] = None
 
     @property
     def total_energy_j(self) -> float:
@@ -175,23 +178,68 @@ def _as_scenario(scenario) -> Scenario:
     )
 
 
+def _resolve_trace_request(scenario: Scenario, trace):
+    """Turn run_scenario's ``trace`` argument into a TraceRequest or None.
+
+    ``None`` defers to the scenario's platform spec (the ``trace:`` section
+    of a :class:`~repro.platform.spec.PlatformSpec`); ``False`` disables
+    tracing regardless of the spec; a
+    :class:`~repro.obs.session.TraceRequest` is used as-is.
+    """
+    if trace is False:
+        return None
+    if trace is None:
+        spec = getattr(scenario, "spec", None)
+        trace_def = getattr(spec, "trace", None)
+        if trace_def is None or not trace_def.enabled:
+            # The common case: repro.obs stays entirely unimported.
+            return None
+        from repro.obs.session import TraceRequest
+
+        return TraceRequest.from_trace_def(trace_def)
+    from repro.obs.session import TraceRequest
+
+    if isinstance(trace, TraceRequest):
+        return trace
+    raise ExperimentError(
+        f"trace must be a TraceRequest, None or False, got {trace!r}"
+    )
+
+
 def run_scenario(
     scenario: "Scenario | str",
     setup: Optional[DpmSetup] = None,
     accuracy: "AccuracyMode | str | None" = None,
+    trace=None,
 ) -> RunArtifacts:
-    """Build and simulate ``scenario`` once under ``setup`` (default: paper DPM)."""
+    """Build and simulate ``scenario`` once under ``setup`` (default: paper DPM).
+
+    ``trace`` controls event tracing: ``None`` (default) follows the
+    platform spec's ``trace:`` section when the scenario came from one,
+    ``False`` forces tracing off, and a
+    :class:`~repro.obs.session.TraceRequest` traces the run explicitly.
+    """
     from repro.platform.build import platform_setup
 
     scenario = _as_scenario(scenario)
     setup = platform_setup(scenario, setup, DpmSetup.paper, use_policy=True)
     mode = AccuracyMode.from_name(accuracy)
+    request = _resolve_trace_request(scenario, trace)
     specs = scenario.build_specs()
     config = scenario.build_config()
     soc = build_soc(specs, config, setup, accuracy=mode)
+    session = None
+    if request is not None:
+        from repro.obs.session import TraceSession
+
+        session = TraceSession(request, stem=scenario.name)
+        session.attach(soc)
     wall_start = _wallclock.perf_counter()
     end_time = soc.run_until_done(max_time=scenario.max_time)
     wall_elapsed = _wallclock.perf_counter() - wall_start
+    trace_path = None
+    if session is not None:
+        trace_path = session.finish(end_time=end_time)
     executions: List[TaskExecution] = []
     for instance in soc.instances:
         executions.extend(instance.ip.executions)
@@ -207,6 +255,7 @@ def run_scenario(
         wall_clock_s=wall_elapsed,
         executions=executions,
         accuracy=mode,
+        trace_path=trace_path,
     )
 
 
@@ -221,7 +270,9 @@ def run_baseline(
     scenario = _as_scenario(scenario)
     baseline = platform_setup(scenario, baseline, DpmSetup.always_on)
     mode = AccuracyMode.from_name(accuracy)
-    run = run_scenario(scenario, baseline, accuracy=mode)
+    # The baseline never traces: a spec-enabled trace would clobber the DPM
+    # run's output file and the reference run is not the run under study.
+    run = run_scenario(scenario, baseline, accuracy=mode, trace=False)
     return BaselineFigures(
         scenario=scenario.name,
         setup=baseline.name,
@@ -239,12 +290,16 @@ def run_comparison(
     baseline: Optional[DpmSetup] = None,
     accuracy: "AccuracyMode | str | None" = None,
     baseline_figures: Optional[BaselineFigures] = None,
+    trace=None,
 ) -> ScenarioMetrics:
     """Run ``scenario`` with the DPM and with the baseline; return Table-2 metrics.
 
     ``baseline_figures`` (e.g. from a campaign's shared-baseline cache)
     skips the baseline run entirely; runs are deterministic, so the shared
     figures are identical to a freshly computed baseline.
+
+    ``trace`` applies to the DPM run only (semantics as in
+    :func:`run_scenario`); the baseline run is never traced.
     """
     from repro.platform.build import platform_setup
 
@@ -252,7 +307,7 @@ def run_comparison(
     dpm = platform_setup(scenario, dpm, DpmSetup.paper, use_policy=True)
     baseline = platform_setup(scenario, baseline, DpmSetup.always_on)
     mode = AccuracyMode.from_name(accuracy)
-    dpm_run = run_scenario(scenario, dpm, accuracy=mode)
+    dpm_run = run_scenario(scenario, dpm, accuracy=mode, trace=trace)
     if baseline_figures is None:
         baseline_figures = run_baseline(scenario, baseline, accuracy=mode)
     if not dpm_run.all_tasks_completed:

@@ -48,6 +48,7 @@ from repro.platform.serialize import (
     spec_to_json,
     spec_to_toml,
 )
+from repro.platform.diff import diff_specs, render_spec_diff
 from repro.platform.spec import (
     SPEC_FORMAT,
     BatteryDef,
@@ -59,6 +60,7 @@ from repro.platform.spec import (
     PolicyDef,
     PsmDef,
     ThermalDef,
+    TraceDef,
     TransitionDef,
     WorkloadDef,
 )
@@ -77,9 +79,11 @@ __all__ = [
     "PolicyDef",
     "PsmDef",
     "ThermalDef",
+    "TraceDef",
     "TransitionDef",
     "WorkloadDef",
     "build_dpm_setup",
+    "diff_specs",
     "build_ip_spec",
     "build_soc_config",
     "build_workload",
@@ -91,6 +95,7 @@ __all__ = [
     "platform_names",
     "platform_setup",
     "register_platform",
+    "render_spec_diff",
     "save_platform",
     "spec_from_json",
     "spec_from_toml",

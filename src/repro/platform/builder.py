@@ -37,6 +37,7 @@ from repro.platform.spec import (
     PolicyDef,
     PsmDef,
     ThermalDef,
+    TraceDef,
     WorkloadDef,
 )
 
@@ -144,6 +145,26 @@ class PlatformBuilder:
     def no_bus(self) -> "PlatformBuilder":
         """Build the platform without a shared bus (the default)."""
         self._spec.bus = BusDef(enabled=False)
+        return self
+
+    def trace(
+        self,
+        format: str = "jsonl",
+        path: Optional[str] = None,
+        events: Optional[Any] = None,
+    ) -> "PlatformBuilder":
+        """Enable event tracing (see :class:`~repro.platform.spec.TraceDef`)."""
+        self._spec.trace = TraceDef(
+            enabled=True,
+            format=format,
+            path=path,
+            events=list(events) if events is not None else [],
+        )
+        return self
+
+    def no_trace(self) -> "PlatformBuilder":
+        """Build the platform without event tracing (the default)."""
+        self._spec.trace = TraceDef(enabled=False)
         return self
 
     # -- IPs ------------------------------------------------------------

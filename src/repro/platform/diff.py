@@ -1,0 +1,91 @@
+"""Field-by-field comparison of two :class:`PlatformSpec` trees.
+
+The diff is computed over the *canonical* serialized form
+(:meth:`PlatformSpec.to_dict`), which omits defaulted sections — so two
+specs compare equal exactly when they would serialize identically, and
+differences are reported against the same dotted paths the validator uses
+(``platform.ips[2].psm.transitions[0].energy_j``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro.platform.spec import PlatformSpec
+
+__all__ = ["SpecDiffEntry", "diff_specs", "render_spec_diff"]
+
+
+class _Missing:
+    """Sentinel for "this side has no value at the path"."""
+
+    def __repr__(self) -> str:
+        return "<missing>"
+
+
+_MISSING = _Missing()
+
+# (dotted path, value in A or _MISSING, value in B or _MISSING)
+SpecDiffEntry = Tuple[str, Any, Any]
+
+
+def _walk(path: str, a: Any, b: Any, out: List[SpecDiffEntry]) -> None:
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b)):
+            child = f"{path}.{key}" if path else key
+            _walk(child, a.get(key, _MISSING), b.get(key, _MISSING), out)
+        return
+    if isinstance(a, list) and isinstance(b, list):
+        for index in range(max(len(a), len(b))):
+            left = a[index] if index < len(a) else _MISSING
+            right = b[index] if index < len(b) else _MISSING
+            _walk(f"{path}[{index}]", left, right, out)
+        return
+    if a is _MISSING and b is _MISSING:
+        return
+    if type(a) is type(b) and a == b:
+        return
+    # bool is an int subclass; True == 1 must still be reported.
+    if a == b and isinstance(a, (int, float)) and isinstance(b, (int, float)) and (
+        isinstance(a, bool) == isinstance(b, bool)
+    ):
+        return
+    out.append((path, a, b))
+
+
+def diff_specs(a: PlatformSpec, b: PlatformSpec) -> List[SpecDiffEntry]:
+    """Return the list of paths where ``a`` and ``b`` differ.
+
+    Each entry is ``(dotted_path, value_a, value_b)``; a side that has no
+    value at the path (section omitted, shorter list) carries the
+    ``<missing>`` sentinel.  An empty list means the specs are canonically
+    identical.
+    """
+    out: List[SpecDiffEntry] = []
+    _walk("", a.to_dict(), b.to_dict(), out)
+    return out
+
+
+def _show(value: Any) -> str:
+    if isinstance(value, _Missing):
+        return "<missing>"
+    return repr(value)
+
+
+def render_spec_diff(
+    a: PlatformSpec,
+    b: PlatformSpec,
+    label_a: str = "a",
+    label_b: str = "b",
+) -> str:
+    """Human-readable rendering of :func:`diff_specs`.
+
+    Returns an empty string when the specs match.
+    """
+    entries = diff_specs(a, b)
+    if not entries:
+        return ""
+    lines = [f"{len(entries)} difference(s) between {label_a} and {label_b}:"]
+    for path, left, right in entries:
+        lines.append(f"  {path}: {_show(left)} -> {_show(right)}")
+    return "\n".join(lines)

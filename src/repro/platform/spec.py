@@ -56,6 +56,7 @@ __all__ = [
     "PolicyDef",
     "PsmDef",
     "ThermalDef",
+    "TraceDef",
     "TransitionDef",
     "WorkloadDef",
 ]
@@ -77,6 +78,7 @@ POLICY_NAMES = ("paper", "always-on", "greedy-sleep", "fixed-timeout", "oracle")
 PREDICTOR_NAMES = ("fixed", "last-value", "ewma", "adaptive")
 BUS_ARBITRATION_NAMES = ("fifo", "priority")
 BUS_TIMING_NAMES = ("event_driven", "cycle_accurate")
+TRACE_FORMAT_NAMES = ("jsonl", "perfetto", "vcd")
 WORKLOAD_KINDS = (
     "bursty",
     "explicit",
@@ -789,6 +791,82 @@ class BusDef:
 
 
 @dataclass
+class TraceDef:
+    """Structured tracing (:mod:`repro.obs`): sink format, path and filter.
+
+    ``format`` selects the sink: ``jsonl`` (one typed event per line),
+    ``perfetto`` (Chrome-trace JSON for ui.perfetto.dev) or ``vcd``
+    (signal waveforms via the simulator's TraceRecorder).  ``events``
+    optionally restricts jsonl/perfetto traces to a set of event kinds
+    and/or categories from the ``repro.obs`` taxonomy.  ``path`` names the
+    output file; when omitted the runner derives
+    ``<scenario>_trace.<ext>`` next to the working directory.
+    """
+
+    enabled: bool = False
+    format: str = "jsonl"
+    path: Optional[str] = None
+    events: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {}
+        if self.enabled:
+            data["enabled"] = True
+        if self.format != "jsonl":
+            data["format"] = self.format
+        if self.path is not None:
+            data["path"] = self.path
+        if self.events:
+            data["events"] = list(self.events)
+        return data
+
+    @classmethod
+    def from_dict(cls, value: Any, path: str = "trace") -> "TraceDef":
+        mapping = _as_mapping(value, path)
+        _check_keys(mapping, path, ("enabled", "format", "path", "events"))
+        events = _get_list(mapping, "events", path)
+        if events is not None:
+            for index, entry in enumerate(events):
+                if not isinstance(entry, str):
+                    _fail(f"{path}.events[{index}]",
+                          f"expected a string, got {type(entry).__name__}")
+        return cls(
+            enabled=_get_bool(mapping, "enabled", path, default=False),
+            format=_get_str(mapping, "format", path, default="jsonl"),
+            path=_get_str(mapping, "path", path),
+            events=list(events or []),
+        )
+
+    def has_overrides(self) -> bool:
+        """True when any trace knob differs from the library defaults."""
+        return (self.format != "jsonl" or self.path is not None
+                or bool(self.events))
+
+    def validate(self, path: str) -> None:
+        _check_choice(self.format, f"{path}.format", TRACE_FORMAT_NAMES,
+                      "trace format")
+        if self.events:
+            # The event vocabulary lives with the tracing subsystem; imported
+            # lazily (and only when a filter is set) so validating untraced
+            # specs never pulls repro.obs in at all.
+            from repro.obs.events import EVENT_CATEGORIES, EVENT_TYPES
+
+            for index, entry in enumerate(self.events):
+                if entry not in EVENT_TYPES and entry not in EVENT_CATEGORIES:
+                    _fail(f"{path}.events[{index}]",
+                          f"unknown event kind or category {entry!r} (expected "
+                          f"a kind such as {_choices(tuple(EVENT_TYPES)[:3])}... "
+                          f"or a category: {_choices(EVENT_CATEGORIES)})")
+        if self.events and self.format == "vcd":
+            _fail(f"{path}.events",
+                  "event filters only apply to jsonl/perfetto traces")
+        if self.path is not None and not self.path:
+            _fail(f"{path}.path", "trace path must be non-empty")
+        if not self.enabled and self.has_overrides():
+            _fail(path, "trace parameters are set but 'enabled' is false")
+
+
+@dataclass
 class BatteryDef:
     """Battery condition: a named preset, explicit parameters, or both.
 
@@ -1021,6 +1099,7 @@ class PlatformSpec:
     thermal: ThermalDef = field(default_factory=ThermalDef)
     gem: GemDef = field(default_factory=GemDef)
     bus: BusDef = field(default_factory=BusDef)
+    trace: TraceDef = field(default_factory=TraceDef)
     policy: Optional[PolicyDef] = None
     max_time_ms: float = 5000.0
     sample_interval_us: float = 1000.0
@@ -1031,8 +1110,8 @@ class PlatformSpec:
     _LEGACY_BUS_KEYS = ("with_bus", "bus_words_per_second")
 
     _TOP_FIELDS = ("format", "name", "description", "ips", "battery", "thermal",
-                   "gem", "bus", "policy", "max_time_ms", "sample_interval_us",
-                   "with_fan", "fan_power_w") + _LEGACY_BUS_KEYS
+                   "gem", "bus", "trace", "policy", "max_time_ms",
+                   "sample_interval_us", "with_fan", "fan_power_w") + _LEGACY_BUS_KEYS
 
     # -- (de)serialisation ---------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -1042,7 +1121,8 @@ class PlatformSpec:
             data["description"] = self.description
         data["ips"] = [ip.to_dict() for ip in self.ips]
         for key, section in (("battery", self.battery), ("thermal", self.thermal),
-                             ("gem", self.gem), ("bus", self.bus)):
+                             ("gem", self.gem), ("bus", self.bus),
+                             ("trace", self.trace)):
             encoded = section.to_dict()
             if encoded:
                 data[key] = encoded
@@ -1091,6 +1171,10 @@ class PlatformSpec:
                 else GemDef.from_dict(mapping["gem"], f"{path}.gem")
             ),
             bus=cls._bus_from_mapping(mapping, path),
+            trace=(
+                TraceDef() if "trace" not in mapping
+                else TraceDef.from_dict(mapping["trace"], f"{path}.trace")
+            ),
             policy=(
                 None if "policy" not in mapping
                 else PolicyDef.from_dict(mapping["policy"], f"{path}.policy")
@@ -1146,6 +1230,7 @@ class PlatformSpec:
         self.thermal.validate("platform.thermal")
         self.gem.validate("platform.gem")
         self.bus.validate("platform.bus")
+        self.trace.validate("platform.trace")
         if self.policy is not None:
             self.policy.validate("platform.policy")
         _check_positive(self.max_time_ms, "platform.max_time_ms", "max time")

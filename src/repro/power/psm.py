@@ -119,6 +119,13 @@ class PowerStateMachine(Module):
         else:
             self.add_thread(self._transition_process, name="transitions")
 
+    #: structured-tracing hook (repro.obs); None keeps the hook site to a
+    #: single attribute test, so untraced runs stay bit-identical
+    _tracer = None
+    #: source label for emitted events (the IP name); falls back to the
+    #: PSM's own module name when instrumentation did not set one
+    _trace_name = None
+
     # ------------------------------------------------------------------
     # State access
     # ------------------------------------------------------------------
@@ -315,6 +322,15 @@ class PowerStateMachine(Module):
             label = f"{source}->{target}"
             self._label_cache[label_key] = label
         self._transition_counts[label] += 1
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(
+                self.kernel.now_fs, "psm.transition",
+                self._trace_name or self.name,
+                from_state=str(source), to_state=str(target),
+                latency_us=int(cost.latency) / 1e9,
+                energy_j=cost.energy_j,
+            )
         if fast:
             self.state_signal.write_if_watched(target)
             self.in_transition.write_if_watched(False)

@@ -122,6 +122,20 @@ class Signal(Generic[T]):
         """Register a callback invoked with ``(time, new_value)`` on change."""
         self._observers.append(callback)
 
+    def remove_observer(self, callback: Callable[[SimTime, T], None]) -> bool:
+        """Detach a previously registered observer.
+
+        Returns True when the callback was attached (and is now removed);
+        False for an unknown callback.  Detaching matters beyond memory: the
+        fast accuracy mode gates several writes on "does anyone observe this
+        signal", so a stale observer changes which writes happen at all.
+        """
+        try:
+            self._observers.remove(callback)
+        except ValueError:
+            return False
+        return True
+
     # -- statistics ---------------------------------------------------------
     @property
     def write_count(self) -> int:

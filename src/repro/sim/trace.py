@@ -36,6 +36,10 @@ class TraceRecorder:
         self.timescale = timescale
         self._histories: Dict[str, List[Tuple[SimTime, object]]] = {}
         self._signals: Dict[str, Signal] = {}
+        # One observer callable per traced name, kept so unwatch/close can
+        # detach them again (an anonymous lambda would pin the observer —
+        # and the recorder — to the signal for the signal's lifetime).
+        self._observers: Dict[str, object] = {}
 
     # -- capture -------------------------------------------------------
     def watch(self, signal: Signal, alias: Optional[str] = None) -> None:
@@ -45,12 +49,34 @@ class TraceRecorder:
             raise SimulationError(f"signal {name!r} is already traced")
         self._signals[name] = signal
         self._histories[name] = [(ZERO_TIME, signal.read())]
-        signal.add_observer(lambda when, value, key=name: self._record(key, when, value))
+        observer = lambda when, value, key=name: self._record(key, when, value)
+        self._observers[name] = observer
+        signal.add_observer(observer)
 
     def watch_all(self, signals: Sequence[Signal]) -> None:
         """Trace every signal in ``signals``."""
         for signal in signals:
             self.watch(signal)
+
+    def unwatch(self, name: str) -> None:
+        """Stop recording one signal, detaching its observer.
+
+        The captured history stays queryable; only live capture ends.
+        """
+        observer = self._observers.pop(name, None)
+        if observer is None:
+            raise SimulationError(f"signal {name!r} is not traced")
+        self._signals[name].remove_observer(observer)
+
+    def close(self) -> None:
+        """Detach every live observer (histories stay queryable).
+
+        Idempotent; call when the recorder's capture phase is over so the
+        recorder no longer pins itself to the watched signals (and, in fast
+        accuracy mode, no longer forces observer-gated writes to happen).
+        """
+        for name in list(self._observers):
+            self.unwatch(name)
 
     def _record(self, name: str, when: SimTime, value: object) -> None:
         self._histories[name].append((when, value))

@@ -209,6 +209,10 @@ class Bus(Module):
     #: default :attr:`level_window`, expressed in words of traffic
     LEVEL_WINDOW_WORDS = 8192
 
+    #: structured-tracing hook (repro.obs); None keeps every hook site to a
+    #: single attribute test, so untraced runs stay bit-identical
+    _tracer = None
+
     def __init__(
         self,
         kernel: Kernel,
@@ -391,6 +395,10 @@ class Bus(Module):
             arrival=self.kernel.now,
             duration=self.transfer_duration(words),
         )
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(self.kernel.now_fs, "bus.request", self.name,
+                        master=master, words=words, priority=priority)
         self._queue.append(handle)
         if self.clock is None:
             self._try_grant(fresh=handle)
@@ -431,6 +439,10 @@ class Bus(Module):
         stats.busy_time = stats.busy_time + request.duration
         per_master = stats.per_master_words
         per_master[request.master] = per_master.get(request.master, 0) + request.words
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(self.kernel.now_fs, "bus.release", self.name,
+                        master=request.master, words=request.words)
         if self.clock is None:
             self._try_grant()
         if self._owner is None:
@@ -452,6 +464,10 @@ class Bus(Module):
             return False
         request.cancelled = True
         self.stats.cancelled_count += 1
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(self.kernel.now_fs, "bus.cancel", self.name,
+                        master=request.master, granted=request.granted)
         if request.event.waiter_count:
             request.event.notify()
         if request is self._owner:
@@ -529,6 +545,10 @@ class Bus(Module):
             if not request.cancelled:
                 request.cancelled = True
                 self.stats.cancelled_count += 1
+                tracer = self._tracer
+                if tracer is not None:
+                    tracer.emit(self.kernel.now_fs, "bus.cancel", self.name,
+                                master=request.master, granted=False)
         request = self._select_next()
         if request is None:
             self.busy_signal.write(False)
@@ -540,6 +560,13 @@ class Bus(Module):
         stats = self.stats
         stats.grant_count += 1
         stats.total_wait_time = stats.total_wait_time + (request.grant_time - request.arrival)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(
+                self.kernel.now_fs, "bus.grant", self.name,
+                master=request.master, words=request.words,
+                wait_us=int(request.grant_time - request.arrival) / 1e9,
+            )
         self.busy_signal.write(True)
         self._update_level()
         request.event.notify()

@@ -109,6 +109,10 @@ class FunctionalIP(Module):
         self._fast = psm._fast
         self.add_thread(self._run, name="traffic")
 
+    #: structured-tracing hook (repro.obs); None keeps every hook site to a
+    #: single attribute test, so untraced runs stay bit-identical
+    _tracer = None
+
     # -- wiring -----------------------------------------------------------
     def connect_lem(self, lem) -> None:
         """Attach the Local Energy Manager that will serve this IP."""
@@ -176,6 +180,12 @@ class FunctionalIP(Module):
             reference_duration=self.reference_duration(task),
             reference_energy_j=self.reference_energy_j(task),
         )
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(
+                self.kernel.now_fs, "task.request", self.name,
+                task=task.name, priority=str(task.priority), cycles=task.cycles,
+            )
         grant = self.lem.submit_task_request(task)
         if not grant.granted:
             yield grant.event
@@ -189,6 +199,15 @@ class FunctionalIP(Module):
             yield from self.bus.transfer(self.name, self.bus_words_per_task, self.bus_priority)
         duration = self.characterization.execution_time(state, task.cycles)
         energy = self.characterization.task_energy_j(state, task.cycles, task.instruction_class)
+        if tracer is not None:
+            now_fs = self.kernel.now_fs
+            tracer.emit(
+                now_fs, "task.start", self.name,
+                task=task.name,
+                wait_us=(now_fs - int(record.request_time)) / 1e9,
+                duration_us=int(duration) / 1e9,
+                energy_j=energy,
+            )
         self.psm.set_busy(True)
         if self._fast:
             # Pure status mirror: in fast mode it is only written while
@@ -208,4 +227,9 @@ class FunctionalIP(Module):
         record.energy_j = energy
         self.executions.append(record)
         self._tasks_executed += 1
+        if tracer is not None:
+            tracer.emit(
+                self.kernel.now_fs, "task.complete", self.name,
+                task=task.name, energy_j=energy,
+            )
         self.lem.notify_task_complete(task, next_idle_hint)

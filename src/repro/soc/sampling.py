@@ -63,6 +63,16 @@ _MARGIN_SAFETY = 0.5
 class FastSampleEngine:
     """Replays battery/thermal sampling windows lazily and in closed form."""
 
+    #: structured-tracing hook (repro.obs); None keeps the hook site to a
+    #: single attribute test, so untraced runs stay bit-identical.  Fast
+    #: mode publishes sparsely (only at observed boundaries), so traced
+    #: ``sample.window`` events are sparse too — level crossings are still
+    #: reported on the exact boundary where they become observable.
+    _tracer = None
+    _trace_source = None
+    _traced_battery_level = None
+    _traced_thermal_level = None
+
     def __init__(
         self,
         kernel: Kernel,
@@ -314,6 +324,22 @@ class FastSampleEngine:
         sensor._history.append((now, temperature))
         sensor.temperature_signal.write(temperature)
         sensor.level_signal.write(thermal.level)
+        tracer = self._tracer
+        if tracer is not None:
+            now_fs = self._kernel.now_fs
+            source = self._trace_source or self._name
+            tracer.emit(now_fs, "sample.window", source,
+                        state_of_charge=soc_value, temperature_c=temperature)
+            battery_level = battery.level
+            if battery_level is not self._traced_battery_level:
+                self._traced_battery_level = battery_level
+                tracer.emit(now_fs, "battery.level", source,
+                            level=str(battery_level), state_of_charge=soc_value)
+            thermal_level = thermal.level
+            if thermal_level is not self._traced_thermal_level:
+                self._traced_thermal_level = thermal_level
+                tracer.emit(now_fs, "thermal.level", source,
+                            level=str(thermal_level), temperature_c=temperature)
 
     # ------------------------------------------------------------------
     # Crossing guard

@@ -104,6 +104,14 @@ class IpInstance:
 class SoC(Module):
     """The elaborated SoC of Fig. 1, ready to simulate."""
 
+    #: structured-tracing hook (repro.obs); None keeps every hook site to a
+    #: single attribute test, so untraced runs stay bit-identical
+    _tracer = None
+    #: last battery/thermal levels reported on the trace (level-change
+    #: detection; seeded by repro.obs.instrument)
+    _traced_battery_level = None
+    _traced_thermal_level = None
+
     def __init__(self, simulator: Simulator, config: SocConfig) -> None:
         super().__init__(simulator.kernel, config.name)
         self.simulator = simulator
@@ -253,6 +261,27 @@ class SoC(Module):
             yield interval
             monitor_sample()
             sensor_sample()
+            if self._tracer is not None:
+                self._trace_sample()
+
+    def _trace_sample(self) -> None:
+        """Emit one ``sample.window`` event plus any level crossings."""
+        tracer = self._tracer
+        now_fs = self.kernel.now_fs
+        soc_value = self.battery.state_of_charge
+        temperature = self.thermal.temperature_c
+        tracer.emit(now_fs, "sample.window", self.name,
+                    state_of_charge=soc_value, temperature_c=temperature)
+        battery_level = self.battery.level
+        if battery_level is not self._traced_battery_level:
+            self._traced_battery_level = battery_level
+            tracer.emit(now_fs, "battery.level", self.name,
+                        level=str(battery_level), state_of_charge=soc_value)
+        thermal_level = self.thermal.level
+        if thermal_level is not self._traced_thermal_level:
+            self._traced_thermal_level = thermal_level
+            tracer.emit(now_fs, "thermal.level", self.name,
+                        level=str(thermal_level), temperature_c=temperature)
 
     def flush_power_books(self, full: bool = False) -> None:
         """Post the lazily integrated background/fan energy up to now.
@@ -273,6 +302,8 @@ class SoC(Module):
         self.flush_power_books()
         self.battery_monitor.sample_now()
         self.temperature_sensor.sample_now()
+        if self._tracer is not None:
+            self._trace_sample()
 
 
 def build_soc(
