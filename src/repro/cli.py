@@ -81,6 +81,17 @@ def build_parser() -> argparse.ArgumentParser:
             "(toleranced fast math; see README 'Accuracy modes')",
         )
 
+    def add_backend_flag(sub) -> None:
+        sub.add_argument(
+            "--backend",
+            choices=["python", "native", "auto"],
+            default=None,
+            help="simulation kernel backend: 'python' (pure Python), 'native' "
+            "(compiled event heap; falls back to python with a notice when "
+            "the extension is not built) or 'auto' (native when available); "
+            "default: the REPRO_SIM_BACKEND environment variable, else python",
+        )
+
     def add_trace_flags(sub) -> None:
         sub.add_argument(
             "--trace",
@@ -128,6 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="DPM setup to evaluate (default: the platform's policy, else 'paper')",
     )
     add_accuracy_flag(scenario)
+    add_backend_flag(scenario)
     add_trace_flags(scenario)
 
     rules = subparsers.add_parser("rules", help="print or query the Table-1 rules")
@@ -140,6 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     speed = subparsers.add_parser("speed", help="measure simulation speed (Kcycle/s)")
     add_accuracy_flag(speed)
+    add_backend_flag(speed)
 
     subparsers.add_parser("breakeven", help="break-even times of the default IP")
 
@@ -247,6 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="DPM setup to evaluate (default: the spec's policy, else 'paper')",
     )
     add_accuracy_flag(platform_run)
+    add_backend_flag(platform_run)
     add_trace_flags(platform_run)
 
     platform_diff = platform_sub.add_parser(
@@ -291,9 +305,11 @@ def _cmd_scenario(args) -> int:
     metrics = run_comparison(
         scenario, dpm=setup, accuracy=args.accuracy,
         trace=request if request is not None else False,
+        backend=args.backend,
     )
     setup_name = args.setup or _default_setup_name(scenario)
-    _print_comparison(scenario, setup_name, args.accuracy, metrics)
+    _print_comparison(scenario, setup_name, args.accuracy, metrics,
+                      backend_note=_backend_note(args.backend))
     if request is not None:
         print(f"\ntrace written to {request.resolve_path(scenario.name)}")
     return 0
@@ -327,9 +343,18 @@ def _default_setup_name(scenario) -> str:
     return "paper"
 
 
-def _print_comparison(scenario, setup_name: str, accuracy: str, metrics) -> None:
+def _backend_note(requested) -> str:
+    """Human-readable resolved backend, e.g. ``python`` or
+    ``python (requested native: extension not built ...)``."""
+    from repro.sim.native import resolve_backend
+
+    return resolve_backend(requested).describe()
+
+
+def _print_comparison(scenario, setup_name: str, accuracy: str, metrics,
+                      backend_note: str = "python") -> None:
     print(f"Scenario {scenario.name}: {scenario.description}")
-    print(f"DPM setup: {setup_name} (accuracy: {accuracy})\n")
+    print(f"DPM setup: {setup_name} (accuracy: {accuracy}, backend: {backend_note})\n")
     rows = [
         ["energy saving (%)", f"{metrics.energy_saving_pct:.1f}"],
         ["temperature reduction (%)", f"{metrics.temperature_reduction_pct:.1f}"],
@@ -403,7 +428,10 @@ def _cmd_sweep(args) -> int:
 def _cmd_speed(args) -> int:
     from repro.experiments.table2 import simulation_speed, simulation_speed_report
 
-    print(simulation_speed_report(simulation_speed(accuracy=args.accuracy)))
+    print(f"backend: {_backend_note(args.backend)} (accuracy: {args.accuracy})")
+    print(simulation_speed_report(
+        simulation_speed(accuracy=args.accuracy, backend=args.backend)
+    ))
     return 0
 
 
@@ -590,9 +618,11 @@ def _cmd_platform_inner(args) -> int:
     metrics = run_comparison(
         scenario, dpm=setup, accuracy=args.accuracy,
         trace=request if request is not None else False,
+        backend=args.backend,
     )
     setup_name = args.setup or _default_setup_name(scenario)
-    _print_comparison(scenario, setup_name, args.accuracy, metrics)
+    _print_comparison(scenario, setup_name, args.accuracy, metrics,
+                      backend_note=_backend_note(args.backend))
     if request is not None:
         print(f"\ntrace written to {request.resolve_path(scenario.name)}")
     return 0

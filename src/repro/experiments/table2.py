@@ -57,13 +57,18 @@ def simulation_speed(
     scenarios: Optional[Sequence[Scenario]] = None,
     dpm: Optional[DpmSetup] = None,
     accuracy: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, float]:
-    """Simulation throughput (kilo clock cycles per wall-clock second) per scenario."""
+    """Simulation throughput (kilo clock cycles per wall-clock second) per scenario.
+
+    ``backend`` selects the kernel event-queue implementation (``python``,
+    ``native`` or ``auto``; ``None`` consults ``REPRO_SIM_BACKEND``).
+    """
     scenarios = list(scenarios) if scenarios is not None else paper_scenarios()
     dpm = dpm or DpmSetup.paper()
     speeds: Dict[str, float] = {}
     for scenario in scenarios:
-        artefacts = run_scenario(scenario, dpm, accuracy=accuracy)
+        artefacts = run_scenario(scenario, dpm, accuracy=accuracy, backend=backend)
         speeds[scenario.name] = artefacts.kilocycles_per_second()
     return speeds
 

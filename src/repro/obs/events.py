@@ -89,6 +89,13 @@ def _event(kind, description, required, optional=None):
 EVENT_TYPES: Dict[str, EventType] = dict(
     [
         _event(
+            "sim.backend",
+            "kernel backend and versions of one traced run (emitted once, "
+            "at instrumentation time)",
+            {"backend": _is_str, "python": _is_str},
+            {"reason": _is_str, "core_version": _is_str},
+        ),
+        _event(
             "task.request",
             "an IP submitted a task request to its LEM",
             {"task": _is_str, "priority": _is_str, "cycles": _is_int},

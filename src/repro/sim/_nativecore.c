@@ -1,0 +1,480 @@
+/* Compiled hot core of the discrete-event kernel (the "native" backend).
+ *
+ * This module reimplements repro.sim.event.TimedQueue as a C binary heap:
+ * the per-event cost of the kernel's hot path is dominated by heap pushes
+ * and pops of [when_fs, seq, payload, cancelled] list entries, so moving
+ * just the queue to C removes most of the interpreter work per timed
+ * notification without touching the (heavily tested) scheduling logic in
+ * kernel.py.
+ *
+ * Semantics are bit-identical to the Python queue by construction:
+ *
+ *   - entries are ordered by the unique key (when_fs, sequence); for unique
+ *     keys *any* correct binary heap pops in exactly the key order, so pop
+ *     order matches heapq including ties (resolved by insertion sequence);
+ *   - cancellation is lazy: entries are flagged and skipped on pop, and the
+ *     heap is compacted when dead entries outnumber live ones (same
+ *     COMPACT_THRESHOLD = 64 policy as the Python queue);
+ *   - pop_due() marks entries consumed so a later cancel() is a no-op.
+ *
+ * Times are raw integer femtoseconds held in a C int64.  2^63 fs is about
+ * 9223 simulated seconds — far beyond any scenario in this library — and
+ * pushes beyond that range raise OverflowError instead of wrapping.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+#define COMPACT_THRESHOLD 64
+
+/* ------------------------------------------------------------------ */
+/* TimedEntry: the cancellation handle returned by TimedQueue.push()   */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    PyObject_HEAD
+    long long when_fs;
+    unsigned long long seq;
+    PyObject *payload;
+    int done; /* cancelled or consumed */
+} EntryObject;
+
+static PyTypeObject Entry_Type;
+
+static PyObject *
+Entry_new_internal(long long when_fs, unsigned long long seq, PyObject *payload)
+{
+    EntryObject *entry = PyObject_GC_New(EntryObject, &Entry_Type);
+    if (entry == NULL)
+        return NULL;
+    entry->when_fs = when_fs;
+    entry->seq = seq;
+    Py_INCREF(payload);
+    entry->payload = payload;
+    entry->done = 0;
+    PyObject_GC_Track((PyObject *)entry);
+    return (PyObject *)entry;
+}
+
+static int
+Entry_traverse(EntryObject *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->payload);
+    return 0;
+}
+
+static int
+Entry_clear(EntryObject *self)
+{
+    Py_CLEAR(self->payload);
+    return 0;
+}
+
+static void
+Entry_dealloc(EntryObject *self)
+{
+    PyObject_GC_UnTrack((PyObject *)self);
+    Py_XDECREF(self->payload);
+    PyObject_GC_Del(self);
+}
+
+static PyObject *
+Entry_get_when_fs(EntryObject *self, void *closure)
+{
+    return PyLong_FromLongLong(self->when_fs);
+}
+
+static PyObject *
+Entry_get_cancelled(EntryObject *self, void *closure)
+{
+    return PyBool_FromLong(self->done);
+}
+
+static PyObject *
+Entry_get_payload(EntryObject *self, void *closure)
+{
+    if (self->payload == NULL)
+        Py_RETURN_NONE;
+    Py_INCREF(self->payload);
+    return self->payload;
+}
+
+static PyGetSetDef Entry_getset[] = {
+    {"when_fs", (getter)Entry_get_when_fs, NULL,
+     "absolute notification time in femtoseconds", NULL},
+    {"cancelled", (getter)Entry_get_cancelled, NULL,
+     "True once the entry was cancelled or consumed", NULL},
+    {"payload", (getter)Entry_get_payload, NULL,
+     "the scheduled Event or Process", NULL},
+    {NULL}
+};
+
+static PyTypeObject Entry_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim._nativecore.TimedEntry",
+    .tp_basicsize = sizeof(EntryObject),
+    .tp_dealloc = (destructor)Entry_dealloc,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Handle of one scheduled timed notification.",
+    .tp_traverse = (traverseproc)Entry_traverse,
+    .tp_clear = (inquiry)Entry_clear,
+    .tp_getset = Entry_getset,
+};
+
+/* ------------------------------------------------------------------ */
+/* TimedQueue                                                          */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    PyObject_HEAD
+    EntryObject **heap; /* owned references */
+    Py_ssize_t size;    /* slots in use (live + dead) */
+    Py_ssize_t capacity;
+    Py_ssize_t live;
+    Py_ssize_t dead;
+    unsigned long long next_seq;
+} QueueObject;
+
+static inline int
+entry_lt(const EntryObject *a, const EntryObject *b)
+{
+    if (a->when_fs != b->when_fs)
+        return a->when_fs < b->when_fs;
+    return a->seq < b->seq;
+}
+
+static void
+heap_sift_up(EntryObject **heap, Py_ssize_t pos)
+{
+    EntryObject *item = heap[pos];
+    while (pos > 0) {
+        Py_ssize_t parent = (pos - 1) >> 1;
+        if (!entry_lt(item, heap[parent]))
+            break;
+        heap[pos] = heap[parent];
+        pos = parent;
+    }
+    heap[pos] = item;
+}
+
+static void
+heap_sift_down(EntryObject **heap, Py_ssize_t size, Py_ssize_t pos)
+{
+    EntryObject *item = heap[pos];
+    for (;;) {
+        Py_ssize_t child = 2 * pos + 1;
+        if (child >= size)
+            break;
+        if (child + 1 < size && entry_lt(heap[child + 1], heap[child]))
+            child += 1;
+        if (!entry_lt(heap[child], item))
+            break;
+        heap[pos] = heap[child];
+        pos = child;
+    }
+    heap[pos] = item;
+}
+
+static int
+queue_grow(QueueObject *self)
+{
+    Py_ssize_t new_capacity = self->capacity ? self->capacity * 2 : 64;
+    EntryObject **heap =
+        PyMem_Realloc(self->heap, (size_t)new_capacity * sizeof(EntryObject *));
+    if (heap == NULL) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    self->heap = heap;
+    self->capacity = new_capacity;
+    return 0;
+}
+
+/* Remove the heap root; the caller owns the returned reference. */
+static EntryObject *
+queue_pop_root(QueueObject *self)
+{
+    EntryObject *root = self->heap[0];
+    self->size -= 1;
+    if (self->size > 0) {
+        self->heap[0] = self->heap[self->size];
+        heap_sift_down(self->heap, self->size, 0);
+    }
+    return root;
+}
+
+static void
+queue_compact(QueueObject *self)
+{
+    Py_ssize_t kept = 0;
+    for (Py_ssize_t i = 0; i < self->size; i++) {
+        EntryObject *entry = self->heap[i];
+        if (entry->done) {
+            Py_DECREF(entry);
+        } else {
+            self->heap[kept++] = entry;
+        }
+    }
+    self->size = kept;
+    self->dead = 0;
+    /* Floyd heapify: unique (when, seq) keys make pop order independent of
+     * the internal layout, so rebuilding preserves the original order. */
+    for (Py_ssize_t i = kept / 2 - 1; i >= 0; i--)
+        heap_sift_down(self->heap, kept, i);
+}
+
+static PyObject *
+Queue_push(QueueObject *self, PyObject *args)
+{
+    PyObject *when_obj, *payload;
+    if (!PyArg_ParseTuple(args, "OO:push", &when_obj, &payload))
+        return NULL;
+    int overflow = 0;
+    long long when_fs = PyLong_AsLongLongAndOverflow(when_obj, &overflow);
+    if (overflow != 0) {
+        PyErr_SetString(PyExc_OverflowError,
+                        "timed notification beyond the native backend's 64-bit "
+                        "femtosecond range (~9.2e3 simulated seconds); use the "
+                        "python backend for longer horizons");
+        return NULL;
+    }
+    if (when_fs == -1 && PyErr_Occurred())
+        return NULL;
+    if (self->size == self->capacity && queue_grow(self) < 0)
+        return NULL;
+    PyObject *entry_obj = Entry_new_internal(when_fs, self->next_seq, payload);
+    if (entry_obj == NULL)
+        return NULL;
+    self->next_seq += 1;
+    EntryObject *entry = (EntryObject *)entry_obj;
+    Py_INCREF(entry); /* heap reference */
+    self->heap[self->size] = entry;
+    self->size += 1;
+    heap_sift_up(self->heap, self->size - 1);
+    self->live += 1;
+    return entry_obj; /* handle reference for the caller */
+}
+
+static PyObject *
+Queue_cancel(QueueObject *self, PyObject *handle)
+{
+    if (!PyObject_TypeCheck(handle, &Entry_Type)) {
+        PyErr_Format(PyExc_TypeError,
+                     "cancel() expects a TimedEntry handle, not %.100s",
+                     Py_TYPE(handle)->tp_name);
+        return NULL;
+    }
+    EntryObject *entry = (EntryObject *)handle;
+    if (!entry->done) {
+        entry->done = 1;
+        self->live -= 1;
+        self->dead += 1;
+        if (self->dead > self->live && self->dead >= COMPACT_THRESHOLD)
+            queue_compact(self);
+    }
+    Py_RETURN_NONE;
+}
+
+/* Drop cancelled entries from the top of the heap. */
+static void
+queue_skim(QueueObject *self)
+{
+    while (self->size > 0 && self->heap[0]->done) {
+        EntryObject *entry = queue_pop_root(self);
+        self->dead -= 1;
+        Py_DECREF(entry);
+    }
+}
+
+static PyObject *
+Queue_next_time_fs(QueueObject *self, PyObject *Py_UNUSED(ignored))
+{
+    queue_skim(self);
+    if (self->size == 0)
+        Py_RETURN_NONE;
+    return PyLong_FromLongLong(self->heap[0]->when_fs);
+}
+
+static PyObject *
+Queue_pop_due(QueueObject *self, PyObject *now_obj)
+{
+    int overflow = 0;
+    long long now_fs = PyLong_AsLongLongAndOverflow(now_obj, &overflow);
+    if (overflow != 0 || (now_fs == -1 && PyErr_Occurred())) {
+        if (!PyErr_Occurred())
+            PyErr_SetString(PyExc_OverflowError,
+                            "pop_due() time outside the 64-bit range");
+        return NULL;
+    }
+    PyObject *due = PyList_New(0);
+    if (due == NULL)
+        return NULL;
+    for (;;) {
+        if (self->size == 0)
+            break;
+        EntryObject *top = self->heap[0];
+        if (top->done) {
+            EntryObject *entry = queue_pop_root(self);
+            self->dead -= 1;
+            Py_DECREF(entry);
+            continue;
+        }
+        if (top->when_fs != now_fs)
+            break;
+        EntryObject *entry = queue_pop_root(self);
+        self->live -= 1;
+        /* Mark consumed so a later cancel() of this handle is a no-op. */
+        entry->done = 1;
+        int failed = PyList_Append(due, entry->payload);
+        Py_DECREF(entry);
+        if (failed < 0) {
+            Py_DECREF(due);
+            return NULL;
+        }
+    }
+    return due;
+}
+
+static Py_ssize_t
+Queue_length(QueueObject *self)
+{
+    return self->live;
+}
+
+static PyObject *
+Queue_get_heap_size(QueueObject *self, void *closure)
+{
+    return PyLong_FromSsize_t(self->size);
+}
+
+static int
+Queue_traverse(QueueObject *self, visitproc visit, void *arg)
+{
+    for (Py_ssize_t i = 0; i < self->size; i++)
+        Py_VISIT((PyObject *)self->heap[i]);
+    return 0;
+}
+
+static int
+Queue_clear_impl(QueueObject *self)
+{
+    Py_ssize_t size = self->size;
+    self->size = 0;
+    self->live = 0;
+    self->dead = 0;
+    for (Py_ssize_t i = 0; i < size; i++)
+        Py_DECREF(self->heap[i]);
+    return 0;
+}
+
+static void
+Queue_dealloc(QueueObject *self)
+{
+    PyObject_GC_UnTrack((PyObject *)self);
+    Queue_clear_impl(self);
+    PyMem_Free(self->heap);
+    PyObject_GC_Del(self);
+}
+
+static PyObject *
+Queue_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    QueueObject *self = PyObject_GC_New(QueueObject, type);
+    if (self == NULL)
+        return NULL;
+    self->heap = NULL;
+    self->size = 0;
+    self->capacity = 0;
+    self->live = 0;
+    self->dead = 0;
+    self->next_seq = 0;
+    PyObject_GC_Track((PyObject *)self);
+    return (PyObject *)self;
+}
+
+static PyMethodDef Queue_methods[] = {
+    {"push", (PyCFunction)Queue_push, METH_VARARGS,
+     "push(when_fs, payload) -> handle\n"
+     "Schedule payload at absolute femtosecond time when_fs."},
+    {"cancel", (PyCFunction)Queue_cancel, METH_O,
+     "cancel(handle)\nWithdraw a pushed entry (no-op if already fired)."},
+    {"next_time_fs", (PyCFunction)Queue_next_time_fs, METH_NOARGS,
+     "Absolute time (fs) of the earliest pending entry, or None."},
+    {"pop_due", (PyCFunction)Queue_pop_due, METH_O,
+     "pop_due(now_fs) -> list\n"
+     "Pop and return all payloads whose time is exactly now_fs."},
+    {NULL}
+};
+
+static PyGetSetDef Queue_getset[] = {
+    {"heap_size", (getter)Queue_get_heap_size, NULL,
+     "number of heap slots in use, including cancelled entries", NULL},
+    {NULL}
+};
+
+static PySequenceMethods Queue_as_sequence = {
+    .sq_length = (lenfunc)Queue_length,
+};
+
+static PyTypeObject Queue_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim._nativecore.TimedQueue",
+    .tp_basicsize = sizeof(QueueObject),
+    .tp_dealloc = (destructor)Queue_dealloc,
+    .tp_as_sequence = &Queue_as_sequence,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "C binary-heap TimedQueue, pop-order-identical to the Python "
+              "reference queue (repro.sim.event.TimedQueue).",
+    .tp_traverse = (traverseproc)Queue_traverse,
+    .tp_clear = (inquiry)Queue_clear_impl,
+    .tp_methods = Queue_methods,
+    .tp_getset = Queue_getset,
+    .tp_new = Queue_new,
+};
+
+/* ------------------------------------------------------------------ */
+/* Module                                                              */
+/* ------------------------------------------------------------------ */
+
+static struct PyModuleDef nativecore_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "repro.sim._nativecore",
+    .m_doc = "Compiled event-heap core of the discrete-event kernel.",
+    .m_size = -1,
+};
+
+PyMODINIT_FUNC
+PyInit__nativecore(void)
+{
+    if (PyType_Ready(&Entry_Type) < 0 || PyType_Ready(&Queue_Type) < 0)
+        return NULL;
+    PyObject *threshold = PyLong_FromLong(COMPACT_THRESHOLD);
+    if (threshold == NULL)
+        return NULL;
+    if (PyDict_SetItemString(Queue_Type.tp_dict, "COMPACT_THRESHOLD",
+                             threshold) < 0) {
+        Py_DECREF(threshold);
+        return NULL;
+    }
+    Py_DECREF(threshold);
+    PyObject *module = PyModule_Create(&nativecore_module);
+    if (module == NULL)
+        return NULL;
+    Py_INCREF(&Queue_Type);
+    if (PyModule_AddObject(module, "TimedQueue", (PyObject *)&Queue_Type) < 0) {
+        Py_DECREF(&Queue_Type);
+        Py_DECREF(module);
+        return NULL;
+    }
+    Py_INCREF(&Entry_Type);
+    if (PyModule_AddObject(module, "TimedEntry", (PyObject *)&Entry_Type) < 0) {
+        Py_DECREF(&Entry_Type);
+        Py_DECREF(module);
+        return NULL;
+    }
+    if (PyModule_AddStringConstant(module, "CORE_VERSION", "1") < 0) {
+        Py_DECREF(module);
+        return NULL;
+    }
+    return module;
+}

@@ -108,6 +108,23 @@ class Clock(Module):
         """Number of clock periods contained in ``duration``."""
         return duration / self.period
 
+    def next_posedge_fs(self, now_fs: int) -> int:
+        """Absolute time (fs) of the first rising edge at or after ``now_fs``.
+
+        Pure arithmetic on the analytic edge schedule — valid for virtual
+        and materialised clocks alike, and exactly the instants at which a
+        materialised clock's output would rise: ``start + k*period`` for
+        ``k >= 1`` when the clock starts high, ``start + low + k*period``
+        for ``k >= 0`` otherwise.  Cycle-accurate consumers (the bus
+        arbiter) use this to jump straight to the next interesting edge
+        instead of waking on every cycle.
+        """
+        period = self._period_fs
+        base = self._start_fs + (period if self.start_high else int(self._low_time))
+        if now_fs <= base:
+            return base
+        return base + -(-(now_fs - base) // period) * period
+
     @property
     def is_materialized(self) -> bool:
         """True once the output signal and toggle thread exist."""

@@ -16,11 +16,17 @@ Two timing modes are supported:
     bus-bearing model stays on the kernel's virtual-clock fast path.
 
 ``cycle_accurate``
-    The bus owns a materialised :class:`~repro.sim.clock.Clock` and
-    arbitrates on its rising edges: requests queue at any time, but grants
-    land only on posedges and transfer durations are quantised to whole bus
-    cycles (``ceil(words / words_per_cycle)``).  This is the library's first
-    real consumer of :meth:`Clock.materialize`/:attr:`Clock.out`.
+    The bus owns a :class:`~repro.sim.clock.Clock` and arbitrates on its
+    rising edges: requests queue at any time, but grants land only on
+    posedges and transfer durations are quantised to whole bus cycles
+    (``ceil(words / words_per_cycle)``).  Arbitration is *batched*: instead
+    of materialising the clock and waking twice per cycle, the bus computes
+    the next **interesting** edge analytically (pending request while free,
+    in-flight release, owner cancellation) and jumps to it with one timed
+    event, reproducing the classic posedge pipeline's delta ordering —
+    edge, then arbiter in the following evaluate phase — so grant instants
+    are identical to a per-cycle arbiter on a materialised clock, at
+    event-driven cost.  The clock itself stays virtual.
 
 The bus is cancellation-safe: a master that is killed (or otherwise stops
 waiting) while queued can no longer wedge the arbiter — dead requests are
@@ -265,18 +271,28 @@ class Bus(Module):
         self._busy_log: Deque[Tuple[int, int]] = deque()
         self.clock: Optional[Clock] = None
         if timing == "cycle_accurate":
-            # One word batch per rising edge: the clock is materialised here,
-            # at the bus's creation time, and its posedges drive arbitration.
+            # One word batch per rising edge.  The clock stays *virtual*:
+            # grant instants come from its analytic edge schedule
+            # (Clock.next_posedge_fs), so no toggle thread ever runs.
             self.clock = Clock(
                 kernel,
                 "clk",
                 period=sec(words_per_cycle / words_per_second),
-                cycle_accurate=True,
                 parent=self,
             )
+            # Batched arbitration plumbing: a timed event jumps to the next
+            # interesting posedge; its callback re-notifies through a delta
+            # event so the arbiter method runs one evaluate phase *after*
+            # the edge instant begins — exactly where a method statically
+            # sensitive to a materialised clock's posedge would run (toggle
+            # write, update, posedge delta, arbiter evaluate).
+            self._arb_scheduled_fs: Optional[int] = None
+            self._arb_timer = self.event("arb_edge")
+            self._arb_timer.add_callback(self._on_arb_timer)
+            self._arb_fire = self.event("arb_fire")
             self.add_method(
                 self._on_posedge,
-                sensitivity=[self.clock.posedge_event],
+                sensitivity=[self._arb_fire],
                 name="arbiter",
                 dont_initialize=True,
             )
@@ -402,6 +418,8 @@ class Bus(Module):
         self._queue.append(handle)
         if self.clock is None:
             self._try_grant(fresh=handle)
+        else:
+            self._schedule_arbitration()
         return handle
 
     def transfer(self, master: str, words: int, priority: int = 0):
@@ -445,6 +463,8 @@ class Bus(Module):
                         master=request.master, words=request.words)
         if self.clock is None:
             self._try_grant()
+        else:
+            self._schedule_arbitration()
         if self._owner is None:
             self.busy_signal.write(False)
         self._update_level()
@@ -480,6 +500,8 @@ class Bus(Module):
                 self.stats.busy_time = self.stats.busy_time + held
             if self.clock is None:
                 self._try_grant()
+            else:
+                self._schedule_arbitration()
             if self._owner is None:
                 self.busy_signal.write(False)
         else:
@@ -509,8 +531,44 @@ class Bus(Module):
         return self.kernel.now - owner.grant_time
 
     def _on_posedge(self) -> None:
-        """Cycle-accurate arbitration: grant (at most) once per rising edge."""
+        """Cycle-accurate arbitration: grant (at most) once per armed edge."""
         self._try_grant()
+
+    def _on_arb_timer(self) -> None:
+        """Timed-event callback at an armed posedge: defer one delta cycle.
+
+        Fires during the kernel's time advance, before the edge instant's
+        first evaluate phase; the delta re-notification pushes the arbiter
+        to the *second* evaluate phase, after same-instant requesters (who
+        wake in the first) have queued and parked on their grant events.
+        """
+        self._arb_scheduled_fs = None
+        self._arb_fire.notify_delta()
+
+    def _schedule_arbitration(self) -> None:
+        """Arm the batched arbiter for the next interesting rising edge.
+
+        Called whenever a grant could become possible: a request while the
+        bus is free, a release, or a cancellation of the owner.  While the
+        bus is busy (or the queue is empty) there is nothing to arbitrate
+        and no per-cycle work happens at all.
+        """
+        if self._owner is not None or not self._queue:
+            return
+        now_fs = self.kernel.now_fs
+        edge_fs = self.clock.next_posedge_fs(now_fs)
+        if edge_fs == now_fs:
+            # Already on the grid (releases and on-grid requests): the
+            # arbiter still runs in the next-but-one evaluate phase of this
+            # instant, matching the per-cycle pipeline's same-edge re-grant.
+            self._arb_fire.notify_delta()
+            return
+        if self._arb_scheduled_fs is not None:
+            # A pending arm is always at the first posedge >= its earlier
+            # scheduling instant, which is this same edge; don't double-arm.
+            return
+        self._arb_scheduled_fs = edge_fs
+        self.kernel.schedule_timed(self._arb_timer, SimTime(edge_fs - now_fs))
 
     def _is_dead(self, request: BusRequest, fresh: Optional[BusRequest]) -> bool:
         """True when nobody can ever consume a grant of ``request``.

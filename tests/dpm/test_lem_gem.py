@@ -323,5 +323,7 @@ class TestBusAwareResourceView:
         soc = self.make_bus_soc(timing="cycle_accurate")
         soc.run_until_done(max_time=sec(1))
         assert soc.all_done
-        assert soc.bus.clock is not None and soc.bus.clock.is_materialized
+        # Batched arbitration: the CA bus owns a clock but never
+        # materialises it — edges are computed analytically.
+        assert soc.bus.clock is not None and not soc.bus.clock.is_materialized
         assert soc.bus.stats.transfer_count == 6

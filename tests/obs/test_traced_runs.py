@@ -77,10 +77,42 @@ def test_every_emitted_event_validates_against_the_schema(tmp_path, accuracy):
         validate_event(event)
     kinds = {event["kind"] for event in events}
     # The core lifecycle kinds must all appear on a multi-IP run.
-    for expected in ("task.request", "task.start", "task.complete",
-                     "psm.state", "psm.transition", "lem.decision",
-                     "sample.window"):
+    for expected in ("sim.backend", "task.request", "task.start",
+                     "task.complete", "psm.state", "psm.transition",
+                     "lem.decision", "sample.window"):
         assert expected in kinds, expected
+
+
+def test_trace_records_the_resolved_backend(tmp_path):
+    """Every traced run opens with one sim.backend event naming the kernel
+    backend and interpreter version actually in effect."""
+    import platform
+
+    path = tmp_path / "backend.jsonl"
+    run_scenario("A1", trace=TraceRequest(format="jsonl", path=str(path)),
+                 backend="python")
+    events = [json.loads(line) for line in path.read_text().splitlines()]
+    backend_events = [e for e in events if e["kind"] == "sim.backend"]
+    assert len(backend_events) == 1
+    event = backend_events[0]
+    assert event["t_fs"] == 0
+    assert event["backend"] == "python"
+    assert event["python"] == platform.python_version()
+    assert "reason" not in event  # an honoured request has nothing to explain
+
+
+def test_trace_records_the_native_backend_when_built(tmp_path):
+    from repro.sim.native import available
+
+    if not available():
+        pytest.skip("native core extension not built")
+    path = tmp_path / "backend.jsonl"
+    run_scenario("A1", trace=TraceRequest(format="jsonl", path=str(path)),
+                 backend="native")
+    events = [json.loads(line) for line in path.read_text().splitlines()]
+    event = next(e for e in events if e["kind"] == "sim.backend")
+    assert event["backend"] == "native"
+    assert event["core_version"]
 
 
 def test_event_timestamps_are_monotonic(tmp_path):

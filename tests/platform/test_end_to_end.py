@@ -351,7 +351,9 @@ class TestBusPlatforms:
         scenario = to_scenario(bus_platform())
         artifacts = run_scenario(scenario)
         bus = artifacts.soc.bus
-        assert bus.clock is not None and bus.clock.is_materialized
+        # Batched arbitration: the clock stays virtual; grants still land
+        # on its analytic posedge grid (checked via busy_time below).
+        assert bus.clock is not None and not bus.clock.is_materialized
         assert bus.stats.transfer_count == 8
         # Reconstruct the grant instants: every completed task performed one
         # transfer, and in cycle-accurate mode both the grant and the

@@ -13,7 +13,19 @@ from repro.soc import (
     Task,
     periodic_workload,
 )
+from repro.sim.native import available as _native_available
 from repro.soc.service import ServiceRequest
+
+#: both kernel backends, for the timing-mode equivalence contract
+BACKENDS = [
+    "python",
+    pytest.param(
+        "native",
+        marks=pytest.mark.skipif(
+            not _native_available(), reason="native core extension not built"
+        ),
+    ),
+]
 
 
 class TestBus:
@@ -439,13 +451,28 @@ class TestCycleAccurateBus:
         assert bus.clock is None
         assert not bus.is_cycle_accurate
 
-    def test_cycle_accurate_bus_materialises_its_clock(self):
+    def test_cycle_accurate_bus_keeps_its_clock_virtual(self):
+        # Batched arbitration computes grant edges analytically from the
+        # clock's schedule (Clock.next_posedge_fs), so the clock must stay
+        # on the virtual fast path: no toggle thread, no per-cycle wakes.
         _, bus = self.make_bus()
         assert bus.is_cycle_accurate
         assert bus.clock is not None
-        assert bus.clock.is_materialized
+        assert not bus.clock.is_materialized
         # words_per_second / words_per_cycle = 250 kHz -> 4 us period
         assert bus.clock.period == us(4)
+
+    def test_batched_arbitration_wakes_only_on_interesting_edges(self):
+        # An idle cycle-accurate bus must cost zero kernel work per cycle:
+        # running 1000 bus periods with no traffic performs no time advances
+        # beyond the run horizon itself.
+        sim, bus = self.make_bus()
+        sim.elaborate()
+        sim.kernel.initialize()
+        before = sim.kernel.stats.time_advances
+        sim.kernel.run(ms(4))  # 1000 idle bus cycles at 4 us
+        assert sim.kernel.stats.time_advances == before
+        assert not bus.clock.is_materialized
 
     def test_durations_quantised_to_whole_cycles(self):
         _, bus = self.make_bus(words_per_cycle=4)
@@ -507,15 +534,18 @@ class TestCycleAccurateBus:
             if value:  # rising edge == a grant
                 assert instant % period_fs == 0
 
-    def test_equivalence_with_event_driven_within_one_bus_period(self):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_equivalence_with_event_driven_within_one_bus_period(self, backend):
         # Same contention pattern in both timing modes: every completion of
         # the cycle-accurate run lands within one bus period of its
         # event-driven counterpart (words are multiples of words_per_cycle,
-        # so only the grant alignment differs, never the duration).
+        # so only the grant alignment differs, never the duration).  Runs on
+        # both kernel backends: arbitration timing must not depend on the
+        # event-heap implementation.
         pattern = [("m0", 0.0, 8), ("m1", 3.0, 12), ("m2", 7.0, 4)]
 
         def run(timing):
-            sim = Simulator()
+            sim = Simulator(backend=backend)
             bus = Bus(
                 sim.kernel,
                 "bus",

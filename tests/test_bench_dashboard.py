@@ -15,17 +15,24 @@ _spec.loader.exec_module(dashboard)
 
 
 def bench_json(speeds):
-    """Synthesise a pytest-benchmark report with our extra_info layout."""
+    """Synthesise a pytest-benchmark report with our extra_info layout.
+
+    Keys are ``(scenario, accuracy)`` or ``(scenario, accuracy, backend)``.
+    """
     benchmarks = []
-    for (scenario, accuracy), speed in speeds.items():
+    for key, speed in speeds.items():
+        scenario, accuracy = key[0], key[1]
+        extra = {
+            "kilocycles_per_second": speed,
+            "scenario": scenario,
+            "accuracy": accuracy,
+        }
+        if len(key) > 2:
+            extra["backend"] = key[2]
         benchmarks.append(
             {
-                "name": f"test_simulation_speed_{scenario}_{accuracy}",
-                "extra_info": {
-                    "kilocycles_per_second": speed,
-                    "scenario": scenario,
-                    "accuracy": accuracy,
-                },
+                "name": f"test_simulation_speed_{'_'.join(key)}",
+                "extra_info": extra,
             }
         )
     return {"benchmarks": benchmarks}
@@ -44,6 +51,17 @@ class TestExtractResults:
     def test_benchmarks_without_speed_are_skipped(self):
         report = {"benchmarks": [{"name": "kernel", "extra_info": {"timed_events": 5}}]}
         assert dashboard.extract_results(report) == {}
+
+    def test_native_backend_gets_its_own_series(self):
+        speeds = {
+            ("A1", "exact"): 3000.0,
+            ("A1", "exact", "python"): 3000.0,
+            ("B", "exact", "native"): 9000.0,
+        }
+        results = dashboard.extract_results(bench_json(speeds))
+        # Explicit "python" collapses onto the default label; "native" is
+        # suffixed so it is tracked as a separate series.
+        assert results == {"A1/exact": 3000.0, "B/exact/native": 9000.0}
 
 
 class TestHistory:
@@ -92,6 +110,18 @@ class TestRegressionGate:
 
     def test_single_entry_never_fails(self):
         history = dashboard.append_entry({}, "one", {"A1/exact": 1.0}, 1.0)
+        assert dashboard.find_regressions(history, threshold=0.20) == []
+
+    def test_missing_native_series_is_not_a_regression(self):
+        """A runner without a C compiler skips the native benchmarks; the
+        series disappearing (or cratering) must not gate the merge."""
+        with_native = dict(SPEEDS_V1)
+        with_native[("A1", "exact", "native")] = 9000.0
+        history = self._history(with_native, SPEEDS_OK)
+        assert dashboard.find_regressions(history, threshold=0.20) == []
+        slower_native = dict(SPEEDS_OK)
+        slower_native[("A1", "exact", "native")] = 10.0
+        history = self._history(with_native, slower_native)
         assert dashboard.find_regressions(history, threshold=0.20) == []
 
 
