@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Dict, List, Optional, Tuple
@@ -192,11 +193,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("error: no benchmark results with kilocycles_per_second found", file=sys.stderr)
         return 2
 
+    # The history file may be missing (first run ever), zero bytes (an
+    # actions/cache restore of a failed previous run) or corrupt; all three
+    # mean the same thing — start a fresh history, loudly, not with a crash.
     try:
         with open(args.history, "r", encoding="utf-8") as handle:
-            history = json.load(handle)
-    except (OSError, json.JSONDecodeError):
+            text = handle.read()
+        history = json.loads(text) if text.strip() else {"entries": []}
+        if not text.strip():
+            print(f"note: {args.history} is empty; starting a new history")
+    except FileNotFoundError:
         history = {"entries": []}
+        print(f"note: no history at {args.history}; starting a new history")
+    except (OSError, json.JSONDecodeError) as error:
+        history = {"entries": []}
+        print(f"note: could not read {args.history} ({error}); starting a new history")
 
     history = append_entry(history, args.commit, results)
     with open(args.history, "w", encoding="utf-8") as handle:
@@ -207,7 +218,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.markdown:
         with open(args.markdown, "w", encoding="utf-8") as handle:
             handle.write(markdown)
+    # Surface the dashboard on the workflow-run summary page, where a
+    # reviewer actually looks — the artifact is the archive, this is the view.
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as handle:
+            handle.write(markdown)
+            handle.write("\n")
     print(markdown)
+
+    if len(history["entries"]) < 2:
+        print(
+            "first recorded run: no baseline yet, regression gate skipped "
+            "(the gate engages once a second commit lands in the history)"
+        )
+        return 0
 
     regressions = find_regressions(history, args.fail_threshold)
     for label, prev, cur, drop in regressions:

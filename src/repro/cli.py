@@ -277,6 +277,67 @@ def build_parser() -> argparse.ArgumentParser:
 
     platform_sub.add_parser("list", help="list the registered platform names")
 
+    fuzz = subparsers.add_parser(
+        "fuzz", help="differential fuzzing: generated platforms vs cross-axis oracles"
+    )
+    fuzz_sub = fuzz.add_subparsers(dest="fuzz_command")
+
+    def add_oracle_flag(sub) -> None:
+        sub.add_argument(
+            "--oracles", default=None, metavar="NAMES",
+            help="comma-separated oracle subset (exact_vs_fast, backend_parity, "
+            "bus_timing, policy, structural); default: all",
+        )
+
+    fuzz_run = fuzz_sub.add_parser(
+        "run", help="fuzz generated platforms through the differential oracles"
+    )
+    fuzz_run.add_argument(
+        "--examples", type=int, default=100, metavar="N",
+        help="number of generated platforms (default 100)",
+    )
+    fuzz_run.add_argument(
+        "--seed", type=int, default=0,
+        help="generation seed; the whole run (examples, shrinking, saved "
+        "failure) is reproducible from it (default 0)",
+    )
+    fuzz_run.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="corpus directory for shrunk failures "
+        "(default tests/fuzz/corpus; 'none' disables saving)",
+    )
+    add_oracle_flag(fuzz_run)
+    add_backend_flag(fuzz_run)
+
+    fuzz_replay = fuzz_sub.add_parser(
+        "replay", help="replay corpus entries (spec files, directories or hash prefixes)"
+    )
+    fuzz_replay.add_argument(
+        "targets", nargs="*", metavar="TARGET",
+        help="spec file, directory, or corpus hash prefix "
+        "(default: the whole tests/fuzz/corpus directory)",
+    )
+    fuzz_replay.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="corpus directory hash prefixes resolve against "
+        "(default tests/fuzz/corpus)",
+    )
+    add_oracle_flag(fuzz_replay)
+    add_backend_flag(fuzz_replay)
+
+    fuzz_minimize = fuzz_sub.add_parser(
+        "minimize", help="delta-debug a failing spec down to a minimal repro"
+    )
+    fuzz_minimize.add_argument(
+        "spec", metavar="FILE", help="platform spec file that currently fails an oracle"
+    )
+    fuzz_minimize.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the minimized spec here (default: print its JSON)",
+    )
+    add_oracle_flag(fuzz_minimize)
+    add_backend_flag(fuzz_minimize)
+
     return parser
 
 
@@ -721,6 +782,87 @@ def _print_platform_summary(spec) -> None:
     print(format_table(["IP", "priority", "workload", "initial state", "custom"], rows))
 
 
+def _parse_oracles(args):
+    if args.oracles is None:
+        return None
+    return [name.strip() for name in args.oracles.split(",") if name.strip()]
+
+
+def _cmd_fuzz(args) -> int:
+    if args.fuzz_command is None:
+        print("error: fuzz needs a subcommand (run, replay or minimize)",
+              file=sys.stderr)
+        return 2
+    try:
+        from repro.fuzz import Corpus, DEFAULT_CORPUS_DIR
+    except ImportError as error:  # hypothesis is a test dependency
+        print(f"error: fuzzing needs the 'hypothesis' package ({error})",
+              file=sys.stderr)
+        return 2
+    oracles = _parse_oracles(args)
+
+    if args.fuzz_command == "run":
+        from repro.fuzz import run_fuzz
+
+        corpus = None
+        if args.corpus != "none":
+            corpus = Corpus(args.corpus or DEFAULT_CORPUS_DIR)
+        report = run_fuzz(
+            examples=args.examples,
+            seed=args.seed,
+            oracles=oracles,
+            backend=args.backend,
+            corpus=corpus,
+        )
+        print(report.summary())
+        return 0 if report.ok else 1
+
+    if args.fuzz_command == "replay":
+        from repro.fuzz import replay_corpus
+
+        corpus = Corpus(args.corpus or DEFAULT_CORPUS_DIR)
+        targets = args.targets or [str(path) for path in corpus.entries()]
+        if not targets:
+            print(f"no corpus entries under {corpus.root}")
+            return 0
+        results = replay_corpus(
+            targets, corpus=corpus, oracles=oracles, backend=args.backend
+        )
+        failures = 0
+        for result in results:
+            print(result.summary())
+            if not result.ok:
+                failures += 1
+        print(f"replayed {len(results)} spec(s), {failures} failing")
+        return 1 if failures else 0
+
+    # minimize
+    from repro.experiments.differential import run_differential
+    from repro.fuzz import minimize_spec
+    from repro.platform import load_platform, save_platform, spec_to_json
+
+    spec = load_platform(args.spec)
+
+    def still_fails(candidate) -> bool:
+        return not run_differential(
+            candidate, oracles=oracles, backend=args.backend
+        ).ok
+
+    if not still_fails(spec):
+        print(f"error: {args.spec} passes every selected oracle; nothing to minimize",
+              file=sys.stderr)
+        return 2
+    minimized = minimize_spec(spec, still_fails)
+    result = run_differential(minimized, oracles=oracles, backend=args.backend)
+    print(result.summary())
+    if args.out:
+        save_platform(minimized, args.out)
+        print(f"minimized spec written to {args.out}")
+    else:
+        print(spec_to_json(minimized), end="")
+    return 0
+
+
 _COMMANDS = {
     "table2": _cmd_table2,
     "scenario": _cmd_scenario,
@@ -731,6 +873,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "campaign": _cmd_campaign,
     "platform": _cmd_platform,
+    "fuzz": _cmd_fuzz,
 }
 
 

@@ -1,5 +1,11 @@
 """Experiment catalogue and runners reproducing the paper's evaluation."""
 
+from repro.experiments.differential import (
+    ALL_ORACLES,
+    DifferentialResult,
+    OracleVerdict,
+    run_differential,
+)
 from repro.experiments.runner import (
     BaselineFigures,
     RunArtifacts,
@@ -26,7 +32,10 @@ from repro.experiments.table2 import (
 )
 
 __all__ = [
+    "ALL_ORACLES",
     "BaselineFigures",
+    "DifferentialResult",
+    "OracleVerdict",
     "RunArtifacts",
     "Scenario",
     "battery_condition",
@@ -38,6 +47,7 @@ __all__ = [
     "reproduce_table2",
     "run_baseline",
     "run_comparison",
+    "run_differential",
     "run_scenario",
     "scenario_a_workload",
     "scenario_by_name",

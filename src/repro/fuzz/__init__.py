@@ -1,0 +1,42 @@
+"""Differential fuzzing: generated platforms, cross-axis oracles, a corpus.
+
+The subsystem has four parts:
+
+* :mod:`repro.fuzz.strategies` — Hypothesis strategies generating bounded,
+  valid :class:`~repro.platform.spec.PlatformSpec` trees;
+* :mod:`repro.fuzz.harness` — :func:`run_fuzz` drives the strategies
+  through :func:`~repro.experiments.differential.run_differential`, shrinks
+  failures and saves them;
+* :mod:`repro.fuzz.corpus` — the content-addressed regression corpus under
+  ``tests/fuzz/corpus/`` that tier-1 replays on every run;
+* :mod:`repro.fuzz.minimize` — spec-level delta debugging for corpus
+  entries and hand-written platforms.
+
+``repro-dpm fuzz run/replay/minimize`` is the CLI face of all of it.
+"""
+
+from repro.fuzz.corpus import Corpus, DEFAULT_CORPUS_DIR
+from repro.fuzz.harness import FuzzFailure, FuzzReport, replay_corpus, run_fuzz
+from repro.fuzz.minimize import minimize_spec
+from repro.fuzz.strategies import (
+    bus_defs,
+    ip_defs,
+    platform_specs,
+    policy_defs,
+    workload_defs,
+)
+
+__all__ = [
+    "Corpus",
+    "DEFAULT_CORPUS_DIR",
+    "FuzzFailure",
+    "FuzzReport",
+    "bus_defs",
+    "ip_defs",
+    "minimize_spec",
+    "platform_specs",
+    "policy_defs",
+    "replay_corpus",
+    "run_fuzz",
+    "workload_defs",
+]

@@ -1,0 +1,95 @@
+"""Content-addressed regression corpus for fuzz findings.
+
+Every shrunk failing platform is saved as an ordinary platform-spec JSON
+file named by its content hash (``<spec_hash[:16]>.json``), with the
+failing oracle verdicts folded into the spec's ``description`` — so a
+corpus entry is self-describing, loads through the normal
+:func:`~repro.platform.serialize.load_platform` path, and replays through
+the same :func:`~repro.experiments.differential.run_differential` harness
+that found it.  The tier-1 suite replays every entry on every run (see
+``tests/fuzz/test_corpus_replay.py``), which is what turns a one-off fuzz
+finding into a permanent regression gate.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.errors import PlatformError
+from repro.platform.serialize import load_platform, save_platform, spec_hash
+from repro.platform.spec import PlatformSpec
+
+__all__ = ["Corpus", "DEFAULT_CORPUS_DIR"]
+
+#: where the repo keeps its shipped regression corpus (relative to the root)
+DEFAULT_CORPUS_DIR = os.path.join("tests", "fuzz", "corpus")
+
+#: filename stem length — 64 hash bits, plenty for a corpus of thousands
+_STEM_CHARS = 16
+
+
+class Corpus:
+    """A directory of content-addressed platform-spec regression files."""
+
+    def __init__(self, root: Union[str, os.PathLike] = DEFAULT_CORPUS_DIR) -> None:
+        self.root = Path(root)
+
+    def entries(self) -> List[Path]:
+        """Every corpus spec file, sorted by name for deterministic replay."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.json"))
+
+    def save(self, spec: PlatformSpec, reason: str = "") -> Path:
+        """Save ``spec`` under its content hash; returns the file path.
+
+        ``reason`` (typically the failing oracle verdicts) is recorded in
+        the spec's ``description`` *before* hashing, so the filename is the
+        hash of exactly the bytes on disk.  Saving the same finding twice
+        is a no-op returning the existing path.
+        """
+        stored = PlatformSpec.from_dict(spec.to_dict())  # defensive copy
+        if reason:
+            stored.description = (
+                f"fuzz regression: {reason}"
+                if not stored.description
+                else f"{stored.description} | fuzz regression: {reason}"
+            )
+        digest = spec_hash(stored)
+        path = self.root / f"{digest[:_STEM_CHARS]}.json"
+        if not path.exists():
+            self.root.mkdir(parents=True, exist_ok=True)
+            save_platform(stored, path)
+        return path
+
+    def load(self, target: Union[str, os.PathLike]) -> PlatformSpec:
+        """Load a corpus entry by path, file name, or unique hash prefix."""
+        candidate = Path(target)
+        if candidate.is_file():
+            return load_platform(candidate)
+        name = str(target)
+        matches = [
+            path for path in self.entries() if path.stem.startswith(name)
+        ]
+        if len(matches) == 1:
+            return load_platform(matches[0])
+        if not matches:
+            raise PlatformError(
+                f"no corpus entry matching {name!r} under {self.root}"
+            )
+        raise PlatformError(
+            f"hash prefix {name!r} is ambiguous in {self.root}: "
+            + ", ".join(path.stem for path in matches)
+        )
+
+    def resolve(self, target: Union[str, os.PathLike]) -> Optional[Path]:
+        """The entry path a :meth:`load` of ``target`` would read, if any."""
+        candidate = Path(target)
+        if candidate.is_file():
+            return candidate
+        matches = [
+            path for path in self.entries() if path.stem.startswith(str(target))
+        ]
+        return matches[0] if len(matches) == 1 else None

@@ -45,10 +45,20 @@ from repro.platform.serialize import (
     save_platform,
     spec_from_json,
     spec_from_toml,
+    spec_hash,
     spec_to_json,
     spec_to_toml,
 )
 from repro.platform.diff import diff_specs, render_spec_diff
+from repro.platform.library import (
+    LIBRARY_PLATFORM_NAMES,
+    iot_duty_cycle,
+    library_platforms,
+    phone_bursty,
+    register_library,
+    server_diurnal,
+    sustained_throttled,
+)
 from repro.platform.spec import (
     SPEC_FORMAT,
     BatteryDef,
@@ -65,7 +75,12 @@ from repro.platform.spec import (
     WorkloadDef,
 )
 
+#: the named workload library rides along with every platform import, so
+#: "phone-bursty" etc. resolve as scenario names everywhere immediately
+register_library()
+
 __all__ = [
+    "LIBRARY_PLATFORM_NAMES",
     "PAPER_PLATFORM_NAMES",
     "SPEC_FORMAT",
     "BatteryDef",
@@ -88,17 +103,24 @@ __all__ = [
     "build_soc_config",
     "build_workload",
     "has_platform",
+    "iot_duty_cycle",
+    "library_platforms",
     "load_platform",
     "load_spec_dict",
     "paper_platforms",
+    "phone_bursty",
     "platform_by_name",
     "platform_names",
     "platform_setup",
+    "register_library",
     "register_platform",
     "render_spec_diff",
     "save_platform",
+    "server_diurnal",
+    "sustained_throttled",
     "spec_from_json",
     "spec_from_toml",
+    "spec_hash",
     "spec_to_json",
     "spec_to_toml",
     "to_scenario",

@@ -1,0 +1,240 @@
+"""The named workload library: realistic platforms beyond the paper rows.
+
+Four hand-built archetypes — a bursty phone-like handset, a diurnal server,
+an IoT duty-cycle node and a thermally-throttled sustained load — registered
+at import time alongside the six paper scenarios, shipped as canonical JSON
+under ``examples/specs/`` (pinned equal by ``tests/fuzz/test_library.py``)
+and exercised by the same differential-oracle harness as the generated fuzz
+platforms.  Use them by name anywhere a scenario name works::
+
+    repro-dpm platform run --name phone-bursty
+    repro-dpm scenario iot-duty-cycle
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.platform.registry import has_platform, register_platform
+from repro.platform.spec import (
+    BatteryDef,
+    BusDef,
+    GemDef,
+    IpDef,
+    PlatformSpec,
+    PolicyDef,
+    PsmDef,
+    ThermalDef,
+    WorkloadDef,
+)
+
+__all__ = [
+    "LIBRARY_PLATFORM_NAMES",
+    "iot_duty_cycle",
+    "library_platforms",
+    "phone_bursty",
+    "register_library",
+    "server_diurnal",
+    "sustained_throttled",
+]
+
+
+def phone_bursty() -> PlatformSpec:
+    """Handset-style platform: a bursty apps core plus a chatty modem.
+
+    Interactive bursts separated by long quiet gaps are the textbook case
+    for predictive shutdown — plenty of idle above break-even — while the
+    modem's steady low-rate traffic keeps the shared bus from idling.
+    """
+    return PlatformSpec(
+        name="phone-bursty",
+        description=(
+            "Bursty phone-like handset: interactive app bursts over an idle "
+            "baseline, modem keep-alives on the shared bus"
+        ),
+        ips=[
+            IpDef(
+                name="apps",
+                workload=WorkloadDef(
+                    kind="bursty",
+                    burst_count=4,
+                    tasks_per_burst=5,
+                    seed=11,
+                    cycles_min=40_000,
+                    cycles_max=120_000,
+                    intra_burst_idle_us=50.0,
+                    inter_burst_idle_us=8_000.0,
+                ),
+                static_priority=2,
+                bus_words_per_task=256,
+                bus_priority=1,
+            ),
+            IpDef(
+                name="modem",
+                workload=WorkloadDef(
+                    kind="periodic",
+                    task_count=20,
+                    cycles=12_000,
+                    idle_us=2_000.0,
+                    priority="high",
+                ),
+                static_priority=3,
+                bus_words_per_task=64,
+                bus_priority=2,
+            ),
+        ],
+        battery=BatteryDef(condition="medium"),
+        bus=BusDef(enabled=True, words_per_second=10e6, arbitration="priority"),
+        policy=PolicyDef(name="paper", predictor="ewma"),
+        max_time_ms=400.0,
+        sample_interval_us=1000.0,
+    )
+
+
+def server_diurnal() -> PlatformSpec:
+    """Mains-powered server: daytime request storms, deep night valleys.
+
+    The diurnal day/night cycle is compressed into bursts with very long
+    inter-burst gaps; on AC power the interesting axis is thermal, not
+    battery, so the fan stays on and the thermal condition is warm.
+    """
+    return PlatformSpec(
+        name="server-diurnal",
+        description=(
+            "Diurnal server: compressed day/night request cycles on AC "
+            "power, warm ambient, fan-assisted"
+        ),
+        ips=[
+            IpDef(
+                name="web",
+                workload=WorkloadDef(
+                    kind="bursty",
+                    burst_count=3,
+                    tasks_per_burst=8,
+                    seed=23,
+                    cycles_min=60_000,
+                    cycles_max=160_000,
+                    intra_burst_idle_us=100.0,
+                    inter_burst_idle_us=25_000.0,
+                ),
+                static_priority=2,
+            ),
+            IpDef(
+                name="db",
+                workload=WorkloadDef(
+                    kind="random",
+                    task_count=12,
+                    seed=29,
+                    cycles_min=30_000,
+                    cycles_max=90_000,
+                    idle_min_us=1_000.0,
+                    idle_max_us=6_000.0,
+                ),
+                static_priority=3,
+            ),
+        ],
+        battery=BatteryDef(condition="full", on_ac_power=True),
+        thermal=ThermalDef(condition="high"),
+        policy=PolicyDef(name="paper", predictor="adaptive"),
+        max_time_ms=500.0,
+        sample_interval_us=1000.0,
+    )
+
+
+def iot_duty_cycle() -> PlatformSpec:
+    """Battery-constrained IoT node: tiny periodic samples, mostly asleep.
+
+    Sub-percent duty cycle with a low battery: the deepest sleep states
+    (``allow_off``) dominate the energy budget, and the slow sampling
+    interval keeps the monitor overhead proportionate.
+    """
+    return PlatformSpec(
+        name="iot-duty-cycle",
+        description=(
+            "IoT duty-cycle sensor node: short periodic sampling tasks, "
+            "long sleeps, low battery, OFF allowed"
+        ),
+        ips=[
+            IpDef(
+                name="sensor",
+                workload=WorkloadDef(
+                    kind="periodic",
+                    task_count=10,
+                    cycles=8_000,
+                    idle_us=40_000.0,
+                    priority="low",
+                ),
+                static_priority=1,
+                psm=PsmDef(wakeup_latency_us={"SL1": 40.0}),
+            ),
+        ],
+        battery=BatteryDef(condition="low"),
+        policy=PolicyDef(name="paper", allow_off=True),
+        max_time_ms=800.0,
+        sample_interval_us=2000.0,
+    )
+
+
+def sustained_throttled() -> PlatformSpec:
+    """Fanless sustained compute under a hot ambient: the GEM's thermal beat.
+
+    Back-to-back DSP work with no idle to harvest — the paper policy can
+    only downshift, and the GEM's thermal rules are the mechanism that
+    keeps the hot, fanless package in check.
+    """
+    return PlatformSpec(
+        name="sustained-throttled",
+        description=(
+            "Thermally-throttled sustained load: continuous high-activity "
+            "work, hot ambient, no fan, GEM thermal rules active"
+        ),
+        ips=[
+            IpDef(
+                name="dsp",
+                workload=WorkloadDef(kind="high_activity", task_count=30, seed=37),
+                static_priority=3,
+            ),
+            IpDef(
+                name="dma",
+                workload=WorkloadDef(
+                    kind="random",
+                    task_count=10,
+                    seed=41,
+                    cycles_min=20_000,
+                    cycles_max=60_000,
+                    idle_min_us=500.0,
+                    idle_max_us=2_000.0,
+                    priorities=["low", "medium"],
+                ),
+                static_priority=1,
+            ),
+        ],
+        battery=BatteryDef(condition="high"),
+        thermal=ThermalDef(condition="high"),
+        gem=GemDef(enabled=True, high_priority_count=1),
+        with_fan=False,
+        max_time_ms=400.0,
+        sample_interval_us=1000.0,
+    )
+
+
+#: builders in registration order
+_BUILDERS = (phone_bursty, server_diurnal, iot_duty_cycle, sustained_throttled)
+
+LIBRARY_PLATFORM_NAMES = tuple(builder().name for builder in _BUILDERS)
+
+
+def library_platforms() -> List[PlatformSpec]:
+    """Fresh spec objects of the whole library, in registration order."""
+    return [builder() for builder in _BUILDERS]
+
+
+def register_library() -> Dict[str, PlatformSpec]:
+    """Register every library platform (idempotent); returns name -> spec."""
+    registered = {}
+    for builder in _BUILDERS:
+        spec = builder()
+        if not has_platform(spec.name):
+            register_platform(spec)
+        registered[spec.name] = spec
+    return registered

@@ -10,6 +10,7 @@ dictionary, so ``spec -> TOML -> spec`` is lossless just like JSON.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import re
@@ -25,6 +26,7 @@ __all__ = [
     "save_platform",
     "spec_from_json",
     "spec_from_toml",
+    "spec_hash",
     "spec_to_json",
     "spec_to_toml",
 ]
@@ -85,6 +87,19 @@ def spec_from_json(text: str) -> PlatformSpec:
     return PlatformSpec.from_dict(data)
 
 
+def spec_hash(spec: PlatformSpec) -> str:
+    """Content hash of ``spec``'s canonical form (hex SHA-256).
+
+    ``to_dict`` omits defaulted fields, so two specs that differ only in
+    *how* they were written (explicit defaults, key order, formatting)
+    hash identically.  The fuzz corpus uses this as the content address
+    of saved regression specs, and the fuzz harness derives per-spec
+    replay seeds from it.
+    """
+    canonical = json.dumps(spec.to_dict(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 def spec_to_toml(spec: PlatformSpec) -> str:
     """Canonical TOML encoding of ``spec``."""
     return dumps_toml(spec.to_dict())
@@ -109,8 +124,18 @@ def spec_from_toml(text: str) -> PlatformSpec:
 # Files
 # ----------------------------------------------------------------------
 def load_spec_dict(path: Union[str, os.PathLike]) -> Dict[str, Any]:
-    """Read a ``.json``/``.toml`` file into a plain dictionary (no validation)."""
+    """Read a ``.json``/``.toml`` file into a plain dictionary (no validation).
+
+    Every way the *file itself* can be wrong — a directory, a missing or
+    unreadable path, binary garbage that is not UTF-8 — surfaces as a
+    :class:`PlatformError` naming the path, never as a raw traceback:
+    ``repro-dpm platform validate`` reports these as ordinary failures.
+    """
     text_path = str(path)
+    if os.path.isdir(text_path):
+        raise PlatformError(
+            f"{text_path}: is a directory, not a spec file (expected .json or .toml)"
+        )
     if text_path.endswith(".toml"):
         try:
             import tomllib
@@ -123,12 +148,16 @@ def load_spec_dict(path: Union[str, os.PathLike]) -> Dict[str, Any]:
                 return tomllib.load(handle)
             except tomllib.TOMLDecodeError as error:
                 raise PlatformError(f"{text_path}: invalid TOML: {error}") from None
+            except UnicodeDecodeError as error:
+                raise PlatformError(f"{text_path}: not valid UTF-8: {error}") from None
     if text_path.endswith(".json"):
         with open(text_path, "r", encoding="utf-8") as handle:
             try:
                 return json.load(handle)
             except json.JSONDecodeError as error:
                 raise PlatformError(f"{text_path}: invalid JSON: {error}") from None
+            except UnicodeDecodeError as error:
+                raise PlatformError(f"{text_path}: not valid UTF-8: {error}") from None
     raise PlatformError(
         f"unsupported spec file {text_path!r} (expected .json or .toml)"
     )

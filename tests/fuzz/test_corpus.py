@@ -1,0 +1,78 @@
+"""The content-addressed corpus: save/load/resolve semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.fuzz import Corpus
+from repro.platform import PlatformSpec, load_platform, spec_hash
+
+
+def small_spec(name: str = "corpus-spec") -> PlatformSpec:
+    return PlatformSpec.from_dict(
+        {
+            "format": "repro-platform/1",
+            "name": name,
+            "ips": [{"name": "ip0", "workload": {"kind": "periodic", "task_count": 2}}],
+        }
+    )
+
+
+class TestCorpus:
+    def test_save_is_content_addressed(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        path = corpus.save(small_spec())
+        stored = load_platform(path)
+        assert path.name == f"{spec_hash(stored)[:16]}.json"
+
+    def test_save_embeds_the_failure_reason(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        path = corpus.save(small_spec(), reason="policy: deficit too large")
+        stored = load_platform(path)
+        assert "fuzz regression: policy: deficit too large" in stored.description
+        # ...and the filename hashes the *stored* bytes, reason included
+        assert path.name == f"{spec_hash(stored)[:16]}.json"
+
+    def test_save_twice_is_idempotent(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        first = corpus.save(small_spec(), reason="r")
+        second = corpus.save(small_spec(), reason="r")
+        assert first == second
+        assert len(corpus.entries()) == 1
+
+    def test_different_reasons_are_different_findings(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        corpus.save(small_spec(), reason="oracle A")
+        corpus.save(small_spec(), reason="oracle B")
+        assert len(corpus.entries()) == 2
+
+    def test_load_by_hash_prefix(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        path = corpus.save(small_spec())
+        loaded = corpus.load(path.stem[:8])
+        assert loaded.name == "corpus-spec"
+
+    def test_load_unknown_prefix_raises(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        with pytest.raises(PlatformError, match="no corpus entry"):
+            corpus.load("deadbeef")
+
+    def test_load_ambiguous_prefix_raises(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        corpus.save(small_spec(), reason="x")
+        corpus.save(small_spec(), reason="y")
+        with pytest.raises(PlatformError, match="ambiguous"):
+            corpus.load("")
+
+    def test_entries_on_missing_directory(self, tmp_path):
+        corpus = Corpus(tmp_path / "nonexistent")
+        assert corpus.entries() == []
+
+    def test_entries_sorted_for_deterministic_replay(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        corpus.save(small_spec("a"))
+        corpus.save(small_spec("b"))
+        corpus.save(small_spec("c"))
+        entries = corpus.entries()
+        assert entries == sorted(entries)

@@ -1,0 +1,43 @@
+"""Tier-1 corpus replay: every saved fuzz regression must stay green.
+
+This is the gate that turns a one-off fuzz finding into a permanent
+regression test: each entry under ``tests/fuzz/corpus/`` is a platform spec
+that once tripped (or pins the boundary of) a differential oracle, and this
+module replays every one of them through the full harness on every test run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import run_differential
+from repro.fuzz import Corpus, DEFAULT_CORPUS_DIR
+from repro.platform import load_platform, spec_hash
+
+_REPO_ROOT = os.path.join(os.path.dirname(__file__), "..", "..")
+CORPUS = Corpus(os.path.join(_REPO_ROOT, DEFAULT_CORPUS_DIR))
+ENTRIES = CORPUS.entries()
+
+
+def test_the_shipped_corpus_is_not_empty():
+    assert ENTRIES, f"expected seeded corpus entries under {CORPUS.root}"
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=[path.stem for path in ENTRIES])
+def test_corpus_entry_replays_green(path):
+    spec = load_platform(path)
+    result = run_differential(spec)
+    assert result.ok, f"{path.name} regressed:\n{result.summary()}"
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=[path.stem for path in ENTRIES])
+def test_corpus_entry_is_content_addressed(path):
+    # The filename must be the hash of exactly the bytes on disk, so an
+    # edited entry cannot masquerade as the original finding.
+    spec = load_platform(path)
+    assert path.stem == spec_hash(spec)[:16], (
+        f"{path.name}: filename does not match the content hash "
+        f"{spec_hash(spec)[:16]!r}; re-save it through Corpus.save"
+    )

@@ -38,6 +38,13 @@ def bench_json(speeds):
     return {"benchmarks": benchmarks}
 
 
+@pytest.fixture(autouse=True)
+def isolate_step_summary(monkeypatch):
+    # Running the suite on a real CI runner must not scribble dashboards
+    # into the runner's own job summary; tests opt in explicitly instead.
+    monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+
+
 SPEEDS_V1 = {("A1", "exact"): 3000.0, ("A1", "fast"): 4500.0, ("B", "exact"): 1200.0}
 SPEEDS_OK = {("A1", "exact"): 2900.0, ("A1", "fast"): 4600.0, ("B", "exact"): 1150.0}
 SPEEDS_REGRESSED = {("A1", "exact"): 2000.0, ("A1", "fast"): 4600.0, ("B", "exact"): 1150.0}
@@ -153,6 +160,44 @@ class TestMarkdownAndMain:
 
         current.write_text(json.dumps(bench_json(SPEEDS_REGRESSED)))
         assert dashboard.main(argv + ["--commit", "commit-3"]) == 1
+
+    def test_first_run_notes_the_missing_baseline(self, tmp_path, capsys):
+        current = tmp_path / "BENCH_sim_speed.json"
+        current.write_text(json.dumps(bench_json(SPEEDS_V1)))
+        code = dashboard.main(
+            ["--current", str(current), "--history", str(tmp_path / "h.json"),
+             "--commit", "first"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "starting a new history" in out
+        assert "no baseline yet" in out
+
+    def test_empty_history_file_is_tolerated(self, tmp_path, capsys):
+        # actions/cache can restore a zero-byte file from an interrupted run.
+        current = tmp_path / "BENCH_sim_speed.json"
+        history = tmp_path / "BENCH_history.json"
+        current.write_text(json.dumps(bench_json(SPEEDS_V1)))
+        history.write_text("")
+        code = dashboard.main(
+            ["--current", str(current), "--history", str(history), "--commit", "c1"]
+        )
+        assert code == 0
+        assert "is empty; starting a new history" in capsys.readouterr().out
+        assert json.loads(history.read_text())["entries"][0]["commit"] == "c1"
+
+    def test_markdown_lands_in_the_step_summary(self, tmp_path, monkeypatch):
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        current = tmp_path / "BENCH_sim_speed.json"
+        current.write_text(json.dumps(bench_json(SPEEDS_V1)))
+        assert dashboard.main(
+            ["--current", str(current), "--history", str(tmp_path / "h.json"),
+             "--commit", "summarized"]
+        ) == 0
+        text = summary.read_text()
+        assert "# Simulation-speed dashboard" in text
+        assert "`summarized`" in text
 
     def test_main_rejects_empty_report(self, tmp_path):
         current = tmp_path / "empty.json"
