@@ -14,7 +14,7 @@ Used by the ``repro-dpm report`` CLI subcommand and by tests.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 from repro.analysis.metrics import ScenarioMetrics
 from repro.analysis.report import PAPER_TABLE2

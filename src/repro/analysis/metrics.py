@@ -19,7 +19,7 @@ experiment runner, the report renderer and the benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.errors import ExperimentError
 from repro.soc.task import TaskExecution

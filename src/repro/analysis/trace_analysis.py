@@ -9,7 +9,7 @@ percentages, transition counts and the per-IP energy breakdown by category.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.errors import ExperimentError
 from repro.power.energy import EnergyAccount

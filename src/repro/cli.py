@@ -10,7 +10,9 @@ Subcommands
     Run a single scenario under a chosen DPM setup and print the detailed
     per-IP results.
 ``rules``
-    Print the Table-1 rule table, or evaluate it for one input combination.
+    Print the Table-1 rule table, evaluate it for one input combination, or
+    trace a first-match decision (``--explain P B T [BUS]``, ``--spec`` to
+    use a platform's custom table).
 ``sweep``
     Run the battery x temperature condition sweep.
 ``speed``
@@ -23,6 +25,12 @@ Subcommands
 ``platform``
     Validate, inspect, diff, list or run declarative platform specs —
     user-defined SoCs as JSON/TOML files (see :mod:`repro.platform`).
+``lint``
+    Static analysis of platform specs (rule-table structure, PSM
+    reachability, policy knobs, bus saturation, workload feasibility) and,
+    with ``--self``, the determinism self-check over the library's own
+    sources (see :mod:`repro.lint`).  Exit 0 clean / 1 findings / 2 bad
+    input.
 
 Run-style subcommands (``scenario``, ``platform run``) accept
 ``--trace [FORMAT]``/``--trace-format``/``--trace-out`` to record a
@@ -45,6 +53,7 @@ from repro.power.breakeven import BreakEvenAnalyzer
 from repro.power.characterization import default_characterization
 from repro.power.transitions import default_transition_table
 from repro.sim.simtime import ms
+from repro.soc.bus import BusLevel
 from repro.soc.task import TaskPriority
 from repro.thermal.level import TemperatureLevel
 
@@ -146,6 +155,36 @@ def build_parser() -> argparse.ArgumentParser:
     rules.add_argument("--priority", choices=[p.value for p in TaskPriority])
     rules.add_argument("--battery", choices=[b.value for b in BatteryLevel])
     rules.add_argument("--temperature", choices=[t.value for t in TemperatureLevel])
+    rules.add_argument("--bus", choices=[b.value for b in BusLevel],
+                       help="bus occupation level (default: low)")
+    rules.add_argument(
+        "--explain", nargs="+", metavar="LEVEL",
+        help="first-match trace for PRIORITY BATTERY TEMPERATURE [BUS]: "
+             "print which rule matched and why every earlier rule was skipped",
+    )
+    rules.add_argument(
+        "--spec", metavar="SPEC",
+        help="spec file or registered platform name whose rule table to use "
+             "(default: the paper's Table 1)",
+    )
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="static analysis of platform specs (rules/psm/policy/bus/workload)",
+    )
+    lint.add_argument(
+        "specs", nargs="*", metavar="SPEC",
+        help="spec files or registered platform names "
+             "(default: every registered platform)",
+    )
+    lint.add_argument(
+        "--self", dest="self_check", action="store_true",
+        help="run the determinism AST lint over the installed repro package",
+    )
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 on info-level findings too",
+    )
 
     sweep = subparsers.add_parser("sweep", help="battery x temperature condition sweep")
     sweep.add_argument("--tasks", type=int, default=20, help="tasks per scenario")
@@ -446,17 +485,32 @@ def _print_comparison(scenario, setup_name: str, accuracy: str, metrics,
 
 
 def _cmd_rules(args) -> int:
-    table = paper_rule_table()
+    if args.spec:
+        from repro.lint import spec_rule_table
+
+        table = spec_rule_table(_load_spec_or_name(args.spec))
+        if table is None:
+            print(f"error: {args.spec} uses a non-rule-based policy",
+                  file=sys.stderr)
+            return 2
+    else:
+        table = paper_rule_table()
+    if args.explain is not None:
+        return _explain_rules(table, args.explain)
     if args.priority and args.battery and args.temperature:
         state = table.select_levels(
             TaskPriority(args.priority),
             BatteryLevel(args.battery),
             TemperatureLevel(args.temperature),
+            bus=BusLevel(args.bus) if args.bus else BusLevel.LOW,
         )
-        print(
+        rendering = (
             f"priority={args.priority}, battery={args.battery}, "
-            f"temperature={args.temperature} -> {state}"
+            f"temperature={args.temperature}"
         )
+        if args.bus:
+            rendering += f", bus={args.bus}"
+        print(f"{rendering} -> {state}")
         return 0
     if args.priority or args.battery or args.temperature:
         print("error: --priority, --battery and --temperature must be given together",
@@ -464,6 +518,80 @@ def _cmd_rules(args) -> int:
         return 2
     print(table.describe())
     return 0
+
+
+def _explain_rules(table, levels: List[str]) -> int:
+    """First-match trace: ``rules --explain PRIORITY BATTERY TEMP [BUS]``."""
+    from repro.dpm.levels import RuleContext
+
+    if not 3 <= len(levels) <= 4:
+        print("error: --explain takes PRIORITY BATTERY TEMPERATURE [BUS]",
+              file=sys.stderr)
+        return 2
+    try:
+        context = RuleContext(
+            TaskPriority(levels[0]),
+            BatteryLevel(levels[1]),
+            TemperatureLevel(levels[2]),
+            bus=BusLevel(levels[3]) if len(levels) == 4 else BusLevel.LOW,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    trace = table.explain(context)
+    for step in trace:
+        print(step.describe())
+    winner = trace[-1] if trace and trace[-1].matched else None
+    if winner is None:
+        print(f"\nno rule matches ({context.describe()})")
+        return 1
+    print(
+        f"\n{context.describe()} -> {winner.rule.state} "
+        f"(rule {winner.index}, {len(trace) - 1} earlier rule(s) skipped)"
+    )
+    return 0
+
+
+def _cmd_lint(args) -> int:
+    from repro.errors import ReproError
+    from repro.lint import lint_spec, selfcheck
+    from repro.platform import (
+        PlatformSpec,
+        load_spec_dict,
+        platform_by_name,
+        platform_names,
+    )
+
+    reports = []
+    bad_input = 0
+    if args.self_check:
+        reports.append(selfcheck())
+    if args.specs:
+        import os
+
+        for target in args.specs:
+            try:
+                if os.path.exists(target) or target.endswith((".json", ".toml")):
+                    data = load_spec_dict(target)
+                    if "scenarios" in data or "setups" in data:
+                        print(f"{target}: campaign spec, nothing to lint")
+                        continue
+                    spec = PlatformSpec.from_dict(data)
+                else:
+                    spec = platform_by_name(target)
+            except (ReproError, OSError) as error:
+                bad_input += 1
+                print(f"error: {target}: {error}", file=sys.stderr)
+                continue
+            reports.append(lint_spec(spec))
+    elif not args.self_check:
+        for name in platform_names():
+            reports.append(lint_spec(platform_by_name(name)))
+    for report in reports:
+        print(report.describe())
+    if bad_input:
+        return 2
+    return 0 if all(r.is_clean(strict=args.strict) for r in reports) else 1
 
 
 def _cmd_sweep(args) -> int:
@@ -874,6 +1002,7 @@ _COMMANDS = {
     "campaign": _cmd_campaign,
     "platform": _cmd_platform,
     "fuzz": _cmd_fuzz,
+    "lint": _cmd_lint,
 }
 
 

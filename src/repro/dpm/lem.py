@@ -21,7 +21,7 @@ break-even analysis are all injectable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.battery.model import Battery
@@ -37,7 +37,7 @@ from repro.sim.event import Event
 from repro.sim.kernel import Kernel
 from repro.sim.module import Module
 from repro.sim.process import AnyOf
-from repro.sim.simtime import SimTime, ZERO_TIME, us
+from repro.sim.simtime import SimTime, us
 from repro.soc.task import Task, TaskPriority
 from repro.thermal.model import ThermalModel
 

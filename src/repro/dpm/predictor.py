@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.errors import ConfigurationError
-from repro.sim.simtime import SimTime, ZERO_TIME, ms, us
+from repro.sim.simtime import SimTime, ms, us
 
 __all__ = [
     "IdlePredictor",

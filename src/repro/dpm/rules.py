@@ -30,7 +30,7 @@ from repro.soc.bus import BusLevel
 from repro.soc.task import TaskPriority
 from repro.thermal.level import TemperatureLevel
 
-__all__ = ["Rule", "RuleTable", "paper_rule_table"]
+__all__ = ["Rule", "RuleTable", "RuleTrace", "paper_rule_table"]
 
 # Short aliases used when building the paper's table, mirroring its notation.
 _P = TaskPriority
@@ -105,6 +105,33 @@ class Rule:
         return f"{rendering} -> {self.state}"
 
 
+@dataclass(frozen=True)
+class RuleTrace:
+    """One step of a first-match trace (see :meth:`RuleTable.explain`)."""
+
+    index: int
+    rule: Rule
+    matched: bool
+    reason: str
+
+    def describe(self) -> str:
+        marker = "=>" if self.matched else "  "
+        return f"{marker} [{self.index:2d}] {self.rule.describe()}  -- {self.reason}"
+
+
+def _skip_reason(rule: Rule, context: RuleContext) -> str:
+    """Which dimension rejected ``context`` first (evaluation order)."""
+    if rule.priorities is not None and context.priority not in rule.priorities:
+        return f"priority {context.priority} not accepted"
+    if rule.batteries is not None and context.battery not in rule.batteries:
+        return f"battery {context.battery} not accepted"
+    if rule.temperatures is not None and context.temperature not in rule.temperatures:
+        return f"temperature {context.temperature} not accepted"
+    if rule.buses is not None and context.bus not in rule.buses:
+        return f"bus {context.bus} not accepted"
+    return "matched"
+
+
 class RuleTable:
     """Ordered list of rules with first-match-wins semantics."""
 
@@ -149,6 +176,34 @@ class RuleTable:
                 )
         self._hits[index] += 1
         return self._rules[index].state
+
+    def first_match_index(self, context: RuleContext) -> Optional[int]:
+        """Index of the first matching rule, or ``None`` if nothing matches.
+
+        A pure scan: unlike :meth:`select` it neither touches the
+        first-match cache nor counts a hit, so analysis code (linting,
+        trace cross-checks, ``rules --explain``) can interrogate a live
+        table without perturbing its statistics.
+        """
+        for index, rule in enumerate(self._rules):
+            if rule.matches(context):
+                return index
+        return None
+
+    def explain(self, context: RuleContext) -> List["RuleTrace"]:
+        """First-match trace: every rule up to (and including) the winner.
+
+        Each entry records whether the rule matched and, for skipped rules,
+        which dimension rejected the context first.  When no rule matches,
+        the trace covers the whole table with ``matched=False`` throughout.
+        """
+        trace: List[RuleTrace] = []
+        for index, rule in enumerate(self._rules):
+            if rule.matches(context):
+                trace.append(RuleTrace(index, rule, True, "matched"))
+                return trace
+            trace.append(RuleTrace(index, rule, False, _skip_reason(rule, context)))
+        return trace
 
     def select_levels(
         self,

@@ -6,6 +6,12 @@ from repro.experiments.differential import (
     OracleVerdict,
     run_differential,
 )
+from repro.experiments.lint_crosscheck import (
+    CrosscheckResult,
+    crosscheck_paper_platforms,
+    crosscheck_scenario,
+    decision_contexts,
+)
 from repro.experiments.runner import (
     BaselineFigures,
     RunArtifacts,
@@ -34,12 +40,16 @@ from repro.experiments.table2 import (
 __all__ = [
     "ALL_ORACLES",
     "BaselineFigures",
+    "CrosscheckResult",
     "DifferentialResult",
     "OracleVerdict",
     "RunArtifacts",
     "Scenario",
     "battery_condition",
     "condition_sweep",
+    "crosscheck_paper_platforms",
+    "crosscheck_scenario",
+    "decision_contexts",
     "multi_ip_scenario",
     "paper_scenarios",
     "policy_ablation",

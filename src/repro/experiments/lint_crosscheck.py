@@ -1,0 +1,185 @@
+"""Dynamic cross-validation of the static rules analyzer.
+
+The lint rules analyzer (:mod:`repro.lint.rules`) claims some rules are
+*statically* unreachable — no input the platform can produce will ever reach
+them under first-match semantics.  This module validates that claim against
+reality: it runs traced simulations, replays every ``lem.decision`` event in
+the :mod:`repro.obs` stream through
+:meth:`~repro.dpm.rules.RuleTable.first_match_index`, and checks that the
+statically-dead rules fired **zero** times.
+
+Two directions of confidence:
+
+* a statically-unreachable rule that fires dynamically would be a lint
+  false positive (the analyzer's lattice enumeration is wrong);
+* an injected shadowed rule that lint flags *and* never fires confirms a
+  true positive end to end (see the lint test suite).
+
+The check is cheap enough to run over all six paper platforms in CI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.battery.status import BatteryLevel
+from repro.dpm.levels import RuleContext
+from repro.dpm.rules import RuleTable, paper_rule_table
+from repro.errors import ExperimentError
+from repro.soc.bus import BusLevel
+from repro.soc.task import TaskPriority
+from repro.thermal.level import TemperatureLevel
+
+__all__ = [
+    "CrosscheckResult",
+    "crosscheck_paper_platforms",
+    "crosscheck_scenario",
+    "decision_contexts",
+]
+
+#: The platforms the CI cross-check sweeps (the paper's six scenarios).
+PAPER_SCENARIO_NAMES = ("A1", "A2", "A3", "A4", "B", "C")
+
+
+@dataclass
+class CrosscheckResult:
+    """Static-vs-dynamic agreement for one traced scenario run."""
+
+    scenario: str
+    table_name: str
+    decision_count: int
+    #: rule index -> number of decisions it won at runtime
+    fire_counts: Dict[int, int] = field(default_factory=dict)
+    #: rule indices the static analysis declared unreachable
+    unreachable: Tuple[int, ...] = ()
+    #: human-readable disagreements (empty when static and dynamic agree)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no statically-dead rule fired."""
+        return not self.violations
+
+    def describe(self) -> str:
+        """One-line summary for CLI/CI output."""
+        status = "ok" if self.ok else f"{len(self.violations)} violation(s)"
+        fired = sum(1 for count in self.fire_counts.values() if count)
+        return (
+            f"{self.scenario}: {self.decision_count} decisions, "
+            f"{fired} rule(s) fired, {len(self.unreachable)} statically "
+            f"unreachable -> {status}"
+        )
+
+
+def decision_contexts(trace_path: "Path | str") -> List[RuleContext]:
+    """Rebuild the :class:`RuleContext` of every ``lem.decision`` event in a
+    JSONL trace (in event order)."""
+    contexts: List[RuleContext] = []
+    with Path(trace_path).open(encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            event = json.loads(line)
+            if event.get("kind") != "lem.decision":
+                continue
+            try:
+                contexts.append(RuleContext(
+                    priority=TaskPriority(event["priority"]),
+                    battery=BatteryLevel(event["battery"]),
+                    temperature=TemperatureLevel(event["temperature"]),
+                    other_ip_energy_j=float(event.get("other_ip_energy_j", 0.0)),
+                    bus=BusLevel(event.get("bus", "low")),
+                ))
+            except (KeyError, ValueError) as error:
+                raise ExperimentError(
+                    f"{trace_path}: malformed lem.decision event: {error}"
+                ) from error
+    return contexts
+
+
+def _replay(table: RuleTable, contexts: Sequence[RuleContext]) -> Dict[int, int]:
+    """Which rule wins each recorded decision, as index -> count."""
+    counts: Dict[int, int] = {}
+    for context in contexts:
+        index = table.first_match_index(context)
+        if index is not None:
+            counts[index] = counts.get(index, 0) + 1
+    return counts
+
+
+def crosscheck_scenario(
+    scenario,
+    table: Optional[RuleTable] = None,
+    trace_dir: "Path | str | None" = None,
+) -> CrosscheckResult:
+    """Run one scenario traced and compare fired rules against the static
+    unreachability analysis.
+
+    ``scenario`` is anything :func:`~repro.experiments.runner.run_scenario`
+    accepts (a name, a :class:`~repro.experiments.scenarios.Scenario` or a
+    :class:`~repro.platform.spec.PlatformSpec`).  ``table`` defaults to the
+    spec's own rule table when the scenario is a platform spec with custom
+    ``policy.rules``, and to the paper's Table 1 otherwise — i.e. the table
+    the run actually consulted.  ``trace_dir`` holds the throwaway JSONL
+    trace (default: the current directory).
+    """
+    from repro.experiments.runner import run_scenario
+    from repro.obs.session import TraceRequest
+    from repro.platform.spec import PlatformSpec
+
+    if table is None:
+        if isinstance(scenario, PlatformSpec):
+            from repro.lint import spec_rule_table
+
+            table = spec_rule_table(scenario)
+            if table is None:
+                raise ExperimentError(
+                    f"platform {scenario.name!r} uses a non-rule-based policy; "
+                    "there is no rule table to cross-check"
+                )
+        else:
+            table = paper_rule_table()
+    name = getattr(scenario, "name", str(scenario))
+    directory = Path(trace_dir) if trace_dir is not None else Path(".")
+    trace_path = directory / f"{name}_crosscheck_trace.jsonl"
+    request = TraceRequest(
+        format="jsonl", path=str(trace_path), events=("lem.decision",)
+    )
+    artifacts = run_scenario(scenario, trace=request)
+    try:
+        contexts = decision_contexts(artifacts.trace_path or trace_path)
+    finally:
+        trace_path.unlink(missing_ok=True)
+    fire_counts = _replay(table, contexts)
+    unreachable = tuple(table.unreachable_rules())
+    violations = [
+        (
+            f"rule {index} ({table.rules[index].describe()}) is statically "
+            f"unreachable but won {fire_counts[index]} decision(s)"
+        )
+        for index in unreachable
+        if fire_counts.get(index)
+    ]
+    return CrosscheckResult(
+        scenario=name,
+        table_name=table.name,
+        decision_count=len(contexts),
+        fire_counts=fire_counts,
+        unreachable=unreachable,
+        violations=violations,
+    )
+
+
+def crosscheck_paper_platforms(
+    names: Optional[Sequence[str]] = None,
+    trace_dir: "Path | str | None" = None,
+) -> List[CrosscheckResult]:
+    """Cross-check every paper scenario (default: all six) against Table 1."""
+    return [
+        crosscheck_scenario(name, trace_dir=trace_dir)
+        for name in (names if names is not None else PAPER_SCENARIO_NAMES)
+    ]

@@ -244,9 +244,9 @@ def run_scenario(
 
         session = TraceSession(request, stem=scenario.name)
         session.attach(soc)
-    wall_start = _wallclock.perf_counter()
+    wall_start = _wallclock.perf_counter()  # repro-lint: allow[DET-WALLCLOCK]
     end_time = soc.run_until_done(max_time=scenario.max_time)
-    wall_elapsed = _wallclock.perf_counter() - wall_start
+    wall_elapsed = _wallclock.perf_counter() - wall_start  # repro-lint: allow[DET-WALLCLOCK]
     trace_path = None
     if session is not None:
         trace_path = session.finish(end_time=end_time)

@@ -36,7 +36,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.battery.model import BatteryConfig
 from repro.errors import ExperimentError
-from repro.sim.simtime import SimTime, ms, sec
+from repro.sim.simtime import SimTime, sec
 from repro.soc.soc import IpSpec, SocConfig
 from repro.soc.workload import (
     Workload,

@@ -37,10 +37,17 @@ class Corpus:
         self.root = Path(root)
 
     def entries(self) -> List[Path]:
-        """Every corpus spec file, sorted by name for deterministic replay."""
+        """Every corpus spec file, sorted by name for deterministic replay.
+
+        Lint sidecars (``*.lint.json``) are metadata, not specs, and are
+        excluded.
+        """
         if not self.root.is_dir():
             return []
-        return sorted(self.root.glob("*.json"))
+        return sorted(
+            path for path in self.root.glob("*.json")
+            if not path.name.endswith(".lint.json")
+        )
 
     def save(self, spec: PlatformSpec, reason: str = "") -> Path:
         """Save ``spec`` under its content hash; returns the file path.
@@ -48,7 +55,10 @@ class Corpus:
         ``reason`` (typically the failing oracle verdicts) is recorded in
         the spec's ``description`` *before* hashing, so the filename is the
         hash of exactly the bytes on disk.  Saving the same finding twice
-        is a no-op returning the existing path.
+        is a no-op returning the existing path.  A ``<hash>.lint.json``
+        sidecar records the entry's static-lint findings at capture time,
+        so triage can tell "fuzzer found a kernel bug" from "fuzzer found a
+        spec lint should have rejected".
         """
         stored = PlatformSpec.from_dict(spec.to_dict())  # defensive copy
         if reason:
@@ -62,7 +72,33 @@ class Corpus:
         if not path.exists():
             self.root.mkdir(parents=True, exist_ok=True)
             save_platform(stored, path)
+            self._write_lint_sidecar(stored, path)
         return path
+
+    @staticmethod
+    def _write_lint_sidecar(spec: PlatformSpec, path: Path) -> None:
+        """Best-effort ``<stem>.lint.json`` next to a new entry; a lint
+        crash must never lose the fuzz finding itself."""
+        import json
+
+        try:
+            from repro.lint import Severity, lint_spec
+
+            report = lint_spec(spec)
+            sidecar = {
+                "spec": path.name,
+                "findings": [finding.to_dict() for finding in report.sorted()],
+                "counts": {
+                    severity.value: report.count(severity)
+                    for severity in Severity
+                },
+            }
+            path.with_name(f"{path.stem}.lint.json").write_text(
+                json.dumps(sidecar, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+        except Exception:  # pragma: no cover - deliberately non-fatal
+            pass
 
     def load(self, target: Union[str, os.PathLike]) -> PlatformSpec:
         """Load a corpus entry by path, file name, or unique hash prefix."""

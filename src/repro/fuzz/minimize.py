@@ -13,7 +13,7 @@ without running a single simulation.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List
 
 from repro.errors import PlatformError
 from repro.platform.spec import PlatformSpec

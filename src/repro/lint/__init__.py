@@ -1,0 +1,36 @@
+"""``repro.lint`` — static analysis of platform specs and of the library.
+
+Two layers:
+
+* **Spec analyzers** (:func:`lint_spec`): five constraint-level analyses
+  over a :class:`~repro.platform.spec.PlatformSpec` — selection-rule
+  structure, PSM reachability/break-even, policy knobs, bus saturation and
+  workload feasibility.  They catch specs that validate but can never
+  save energy (or never finish) *before* a simulation runs.
+* **Determinism self-check** (:func:`~repro.lint.selfcheck.selfcheck`):
+  an AST lint over ``src/repro`` guarding the bit-identity contracts —
+  no wall clocks, no global RNG, no float time math in the kernel.
+
+CLI: ``repro-dpm lint [SPECS...|--self] [--strict]``; exit 0 clean,
+1 findings, 2 unreadable/invalid input.
+"""
+
+from repro.lint.engine import ANALYZERS, lint_spec
+from repro.lint.findings import CODES, Finding, LintReport, Severity
+from repro.lint.model import SpecModel, build_model, spec_rule_table
+from repro.lint.selfcheck import lint_paths, lint_source, selfcheck
+
+__all__ = [
+    "ANALYZERS",
+    "CODES",
+    "Finding",
+    "LintReport",
+    "Severity",
+    "SpecModel",
+    "build_model",
+    "lint_paths",
+    "lint_source",
+    "lint_spec",
+    "selfcheck",
+    "spec_rule_table",
+]

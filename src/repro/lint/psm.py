@@ -1,0 +1,121 @@
+"""PSM analyzer: state-graph reachability and break-even feasibility.
+
+Walks each IP's transition table (the default one, scaled to the IP's
+characterisation, or the spec's custom ``psm``) as a directed graph:
+
+* ``PSM-UNREACHABLE`` — a low-power state that appears in the table but has
+  no path from the IP's initial state; it can never be entered.
+* ``PSM-NO-WAKE`` — a reachable low-power state with no path back to any ON
+  state.  Entering it strands the IP (absorbing state), which on a live
+  platform means a task that never gets served again.
+* ``PSM-SLEEP-POWER`` — residual power >= ON1 idle power: sleeping in this
+  state costs at least as much as staying idle, so it can never break even
+  (:func:`repro.power.breakeven.break_even_time` returns ``None``).
+* ``PSM-BREAK-EVEN`` — the break-even idle time is longer than the whole
+  simulated horizon (``max_time_ms``); no idle period inside a run can
+  ever amortise the transition energy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.model import LOW_STATES, IpModel, SpecModel
+from repro.power.states import PowerState
+from repro.sim.simtime import sec
+
+__all__ = ["analyze_psm"]
+
+
+def _reachable_from(graph: Dict[PowerState, Set[PowerState]], start: PowerState) -> Set[PowerState]:
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        for successor in graph.get(node, ()):
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+    return seen
+
+
+def _analyze_ip(model: SpecModel, ip_model: IpModel) -> List[Finding]:
+    findings: List[Finding] = []
+    path = f"{ip_model.path}.psm"
+    pairs = list(ip_model.transitions.transitions)
+    graph: Dict[PowerState, Set[PowerState]] = {}
+    for source, target in pairs:
+        graph.setdefault(source, set()).add(target)
+    present = {state for pair in pairs for state in pair}
+
+    initial = PowerState(ip_model.ip.initial_state)
+    forward = _reachable_from(graph, initial)
+    for state in LOW_STATES:
+        if state not in present:
+            continue  # removed from the table entirely: simply unavailable
+        if state not in forward:
+            findings.append(Finding(
+                code="PSM-UNREACHABLE",
+                severity=Severity.WARN,
+                path=path,
+                message=(
+                    f"{state} appears in the transition table but has no "
+                    f"path from the initial state {initial}"
+                ),
+                suggestion=f"add an entry transition into {state} or remove it",
+            ))
+            continue
+        # Reachable low-power state: is there a way back to execution?
+        wake = _reachable_from(graph, state)
+        if not any(s.is_on for s in wake):
+            findings.append(Finding(
+                code="PSM-NO-WAKE",
+                severity=Severity.ERROR,
+                path=path,
+                message=(
+                    f"{state} is absorbing: reachable from {initial} but no "
+                    "transition path leads back to any ON state"
+                ),
+                suggestion=f"add a wake transition {state} -> ON1",
+            ))
+
+    if ip_model.breakeven is not None:
+        horizon = sec(model.horizon_s)
+        for entry in ip_model.breakeven.entries:
+            if entry.break_even is None:
+                idle_w = ip_model.characterization.idle_power_w(PowerState.ON1)
+                findings.append(Finding(
+                    code="PSM-SLEEP-POWER",
+                    severity=Severity.WARN,
+                    path=path,
+                    message=(
+                        f"{entry.state} draws {entry.sleep_power_w:.4g} W asleep, "
+                        f">= the ON1 idle power {idle_w:.4g} W; it can never "
+                        "save energy"
+                    ),
+                    suggestion=f"lower residual_fraction.{entry.state}",
+                ))
+            elif entry.break_even > horizon:
+                findings.append(Finding(
+                    code="PSM-BREAK-EVEN",
+                    severity=Severity.WARN,
+                    path=path,
+                    message=(
+                        f"{entry.state} breaks even only after "
+                        f"{entry.break_even.seconds * 1e6:.3g} us — longer than "
+                        f"the whole {model.spec.max_time_ms:g} ms horizon, so no "
+                        "idle period can amortise its transition cost"
+                    ),
+                    suggestion=(
+                        f"cheapen the {entry.state} transitions or drop the state"
+                    ),
+                ))
+    return findings
+
+
+def analyze_psm(model: SpecModel) -> List[Finding]:
+    findings: List[Finding] = []
+    for ip_model in model.ips:
+        findings.extend(_analyze_ip(model, ip_model))
+    return findings

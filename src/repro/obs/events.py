@@ -13,7 +13,7 @@ bools *are* ints) so a schema drift cannot hide behind duck typing.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
 
 from repro.errors import ReproError
 

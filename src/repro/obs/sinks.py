@@ -29,7 +29,7 @@ microseconds, so ``ts = t_fs / 1e9`` (float µs keeps sub-µs event order).
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 __all__ = [
     "TRACE_EXTENSIONS",

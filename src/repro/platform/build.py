@@ -23,7 +23,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from repro.battery.model import BatteryConfig
 from repro.dpm.controller import DpmSetup
-from repro.dpm.gem import GemConfig
+from repro.dpm.rules import RuleTable
 from repro.dpm.predictor import (
     AdaptivePredictor,
     ExponentialAveragePredictor,
@@ -348,7 +348,14 @@ def build_dpm_setup(policy: PolicyDef) -> DpmSetup:
         predictor = (
             _PREDICTOR_FACTORIES[policy.predictor] if policy.predictor else None
         )
-        setup = DpmSetup.paper(allow_off=allow_off, predictor_factory=predictor)
+        rules = (
+            RuleTable.from_dicts(policy.rules, name="policy-rules")
+            if policy.rules
+            else None
+        )
+        setup = DpmSetup.paper(
+            rules=rules, allow_off=allow_off, predictor_factory=predictor
+        )
     elif policy.name == "always-on":
         setup = DpmSetup.always_on()
     elif policy.name == "greedy-sleep":

@@ -76,6 +76,14 @@ BATTERY_CONDITIONS = ("full", "high", "medium", "low", "empty")
 THERMAL_CONDITIONS = ("low", "high")
 POLICY_NAMES = ("paper", "always-on", "greedy-sleep", "fixed-timeout", "oracle")
 PREDICTOR_NAMES = ("fixed", "last-value", "ewma", "adaptive")
+#: States a selection rule may pick (ON or sleep — never OFF, the LEM cannot
+#: grant a task on a powered-down IP) and the level vocabularies of the
+#: rule-context dimensions, mirroring the enums of :mod:`repro.dpm.levels`.
+RULE_STATE_NAMES = ("ON1", "ON2", "ON3", "ON4", "SL1", "SL2", "SL3", "SL4")
+BATTERY_LEVEL_NAMES = ("empty", "low", "medium", "high", "full", "ac_power")
+TEMPERATURE_LEVEL_NAMES = ("low", "medium", "high")
+BUS_LEVEL_NAMES = ("low", "medium", "high")
+_RULE_ENTRY_KEYS = ("state", "priorities", "batteries", "temperatures", "buses", "label")
 BUS_ARBITRATION_NAMES = ("fifo", "priority")
 BUS_TIMING_NAMES = ("event_driven", "cycle_accurate")
 TRACE_FORMAT_NAMES = ("jsonl", "perfetto", "vcd")
@@ -1029,6 +1037,12 @@ class PolicyDef:
     :class:`~repro.dpm.controller.DpmSetup` the caller passes (default: the
     paper's DPM).  When present it selects the named setup and its knobs —
     and explicit setups passed by experiments/campaigns still win.
+
+    ``rules`` (``paper`` policy only) replaces the paper's Table 1 with a
+    custom first-match rule list in the
+    :meth:`repro.dpm.rules.RuleTable.as_dicts` format: each entry has a
+    ``state`` plus optional ``priorities``/``batteries``/``temperatures``/
+    ``buses`` lists (``null``/omitted meaning "don't care") and a ``label``.
     """
 
     name: str = "paper"
@@ -1038,9 +1052,11 @@ class PolicyDef:
     reevaluation_interval_us: Optional[float] = None
     defer_state: Optional[str] = None
     estimation_state: Optional[str] = None
+    rules: Optional[List[Dict[str, Any]]] = None
 
     _FIELDS = ("name", "predictor", "allow_off", "timeout_ms",
-               "reevaluation_interval_us", "defer_state", "estimation_state")
+               "reevaluation_interval_us", "defer_state", "estimation_state",
+               "rules")
 
     def to_dict(self) -> Dict[str, Any]:
         data: Dict[str, Any] = {"name": self.name}
@@ -1054,6 +1070,12 @@ class PolicyDef:
     def from_dict(cls, value: Any, path: str = "policy") -> "PolicyDef":
         mapping = _as_mapping(value, path)
         _check_keys(mapping, path, cls._FIELDS)
+        rules = _get_list(mapping, "rules", path)
+        if rules is not None:
+            rules = [
+                dict(_as_mapping(item, f"{path}.rules[{index}]"))
+                for index, item in enumerate(rules)
+            ]
         return cls(
             name=_get_str(mapping, "name", path, default="paper"),
             predictor=_get_str(mapping, "predictor", path),
@@ -1062,6 +1084,7 @@ class PolicyDef:
             reevaluation_interval_us=_get_float(mapping, "reevaluation_interval_us", path),
             defer_state=_get_str(mapping, "defer_state", path),
             estimation_state=_get_str(mapping, "estimation_state", path),
+            rules=rules,
         )
 
     def validate(self, path: str) -> None:
@@ -1083,6 +1106,46 @@ class PolicyDef:
                       LOW_STATE_NAMES, "sleep/off state")
         _check_choice(self.estimation_state, f"{path}.estimation_state",
                       ON_STATE_NAMES, "ON state")
+        if self.rules is not None:
+            if self.name != "paper":
+                _fail(f"{path}.rules",
+                      f"a custom rule table can only be given for the 'paper' "
+                      f"policy, not {self.name!r}")
+            if not self.rules:
+                _fail(f"{path}.rules", "a custom rule table needs at least one rule")
+            for index, entry in enumerate(self.rules):
+                self._validate_rule(entry, f"{path}.rules[{index}]")
+
+    @staticmethod
+    def _validate_rule(entry: Mapping[str, Any], path: str) -> None:
+        """Structural check of one custom rule entry (string vocabulary)."""
+        if not isinstance(entry, Mapping):
+            _fail(path, f"expected a rule mapping, got {type(entry).__name__}")
+        _check_keys(entry, path, _RULE_ENTRY_KEYS)
+        if "state" not in entry:
+            _fail(path, "missing required rule field 'state'")
+        _check_choice(entry["state"], f"{path}.state", RULE_STATE_NAMES,
+                      "rule state")
+        label = entry.get("label")
+        if label is not None and not isinstance(label, str):
+            _fail(f"{path}.label", f"expected a string, got {type(label).__name__}")
+        for key, vocabulary, noun in (
+            ("priorities", PRIORITY_NAMES, "task priority"),
+            ("batteries", BATTERY_LEVEL_NAMES, "battery level"),
+            ("temperatures", TEMPERATURE_LEVEL_NAMES, "temperature level"),
+            ("buses", BUS_LEVEL_NAMES, "bus level"),
+        ):
+            values = entry.get(key)
+            if values is None:
+                continue
+            if not isinstance(values, list):
+                _fail(f"{path}.{key}",
+                      f"expected a list of names or null, got {type(values).__name__}")
+            if not values:
+                _fail(f"{path}.{key}",
+                      "an empty list matches nothing; use null for don't-care")
+            for position, name in enumerate(values):
+                _check_choice(name, f"{path}.{key}[{position}]", vocabulary, noun)
 
 
 # ----------------------------------------------------------------------

@@ -29,7 +29,7 @@ from repro.errors import PowerModelError
 from repro.power.characterization import PowerCharacterization
 from repro.power.states import SLEEP_STATES, PowerState
 from repro.power.transitions import TransitionTable
-from repro.sim.simtime import SimTime, ZERO_TIME, sec
+from repro.sim.simtime import SimTime, sec
 
 __all__ = ["break_even_time", "BreakEvenEntry", "BreakEvenAnalyzer"]
 

@@ -14,7 +14,7 @@ Two small classes keep the books:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, List
 
 from repro.errors import PowerModelError
 from repro.sim.simtime import SimTime

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.errors import InvalidTransitionError, PowerModelError
-from repro.power.states import ALL_STATES, ON_STATES, SLEEP_STATES, PowerState
+from repro.power.states import ON_STATES, SLEEP_STATES, PowerState
 from repro.sim.simtime import SimTime, us, ZERO_TIME
 
 __all__ = ["TransitionCost", "TransitionTable", "default_transition_table"]

@@ -139,9 +139,9 @@ class Simulator:
         """
         self.elaborate()
         start_time = self.kernel.now
-        wall_start = _wallclock.perf_counter()
+        wall_start = _wallclock.perf_counter()  # repro-lint: allow[DET-WALLCLOCK]
         end_sim_time = self.kernel.run(duration)
-        wall_elapsed = _wallclock.perf_counter() - wall_start
+        wall_elapsed = _wallclock.perf_counter() - wall_start  # repro-lint: allow[DET-WALLCLOCK]
         simulated = end_sim_time - start_time
         cycles = 0.0
         if clock_period is not None and not clock_period.is_zero:

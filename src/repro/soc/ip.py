@@ -30,7 +30,7 @@ from repro.power.psm import PowerStateMachine
 from repro.power.states import PowerState
 from repro.sim.kernel import Kernel
 from repro.sim.module import Module
-from repro.sim.simtime import SimTime, ZERO_TIME
+from repro.sim.simtime import SimTime
 from repro.soc.bus import Bus
 from repro.soc.service import ServiceChannel
 from repro.soc.task import Task, TaskExecution

@@ -39,7 +39,7 @@ change events — is preserved exactly.
 from __future__ import annotations
 
 import math
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Tuple
 
 from repro.sim.kernel import Kernel
 from repro.sim.process import AnyOf

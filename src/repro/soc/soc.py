@@ -14,7 +14,7 @@ paper's baseline (maximum frequency, never sleep): only the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.battery.model import Battery, BatteryConfig
 from repro.battery.monitor import BatteryMonitor
@@ -26,7 +26,7 @@ from repro.power.psm import PowerStateMachine
 from repro.power.states import PowerState
 from repro.power.transitions import TransitionTable, default_transition_table
 from repro.sim.module import Module
-from repro.sim.simtime import SimTime, ZERO_TIME, ms, sec, us
+from repro.sim.simtime import SimTime, ms, sec
 from repro.sim.simulator import Simulator
 from repro.soc.bus import Bus
 from repro.soc.ip import FunctionalIP

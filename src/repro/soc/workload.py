@@ -24,7 +24,7 @@ from __future__ import annotations
 import random
 import warnings
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Sequence, Tuple
 
 from repro.errors import WorkloadError
 from repro.power.characterization import InstructionClass

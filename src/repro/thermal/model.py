@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Tuple
 
 from repro.errors import ThermalError
 from repro.sim.simtime import SimTime

@@ -1,0 +1,52 @@
+"""Corpus entries gain a ``<hash>.lint.json`` sidecar at save time."""
+
+import json
+
+from repro.fuzz.corpus import Corpus
+from repro.platform import IpDef, PlatformSpec, WorkloadDef
+
+
+def tiny_spec(name="sidecar"):
+    return PlatformSpec(name=name, ips=[IpDef(
+        name="cpu",
+        workload=WorkloadDef(kind="periodic", task_count=4, cycles=10_000,
+                             idle_us=200.0),
+    )])
+
+
+class TestLintSidecar:
+    def test_save_writes_sidecar(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        entry = corpus.save(tiny_spec(), reason="oracle X disagreed")
+        sidecar = entry.with_name(f"{entry.stem}.lint.json")
+        assert sidecar.is_file()
+        data = json.loads(sidecar.read_text(encoding="utf-8"))
+        assert data["spec"] == entry.name
+        assert set(data["counts"]) == {"error", "warn", "info"}
+        # The paper table's kept-verbatim shadowed row shows up as info.
+        assert data["counts"]["info"] >= 1
+        assert all(f["code"] and f["severity"] and f["path"]
+                   for f in data["findings"])
+
+    def test_entries_exclude_sidecars(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        entry = corpus.save(tiny_spec())
+        assert corpus.entries() == [entry]
+
+    def test_resaving_is_still_a_noop(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        first = corpus.save(tiny_spec())
+        assert corpus.save(tiny_spec()) == first
+        assert len(list(tmp_path.glob("*.json"))) == 2  # spec + sidecar
+
+    def test_load_by_hash_prefix_unaffected(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        entry = corpus.save(tiny_spec())
+        assert corpus.load(entry.stem[:6]).name == "sidecar"
+
+    def test_shipped_corpus_has_sidecars(self):
+        corpus = Corpus()
+        entries = corpus.entries()
+        assert entries, "shipped corpus is empty?"
+        for entry in entries:
+            assert entry.with_name(f"{entry.stem}.lint.json").is_file()

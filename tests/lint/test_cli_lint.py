@@ -1,0 +1,136 @@
+"""CLI contract of ``repro-dpm lint`` and ``repro-dpm rules --explain``.
+
+Exit codes: 0 clean (info-level findings allowed), 1 findings,
+2 unreadable/invalid input — the same contract the CI jobs rely on.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def write_spec(tmp_path, name, **overrides):
+    data = {
+        "format": "repro-platform/1",
+        "name": name,
+        "ips": [{
+            "name": "cpu",
+            "workload": {"kind": "periodic", "task_count": 4,
+                         "cycles": 10000, "idle_us": 200.0},
+        }],
+    }
+    data.update(overrides)
+    path = tmp_path / f"{name}.json"
+    path.write_text(json.dumps(data), encoding="utf-8")
+    return str(path)
+
+
+class TestLintExitCodes:
+    def test_default_sweep_over_registered_platforms_is_clean(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "A1:" in out and "C:" in out
+
+    def test_strict_fails_on_info_findings(self):
+        # The library Table 1 carries the kept-verbatim shadowed row 6.
+        assert main(["lint", "--strict"]) == 1
+
+    def test_self_check_is_clean(self, capsys):
+        assert main(["lint", "--self"]) == 0
+        assert "determinism self-check" in capsys.readouterr().out
+
+    def test_findings_exit_1(self, tmp_path, capsys):
+        shadowed = write_spec(tmp_path, "shadowed", policy={
+            "name": "paper",
+            "rules": [
+                {"state": "ON2"},
+                {"state": "SL1", "priorities": ["low"], "label": "dead"},
+            ],
+        })
+        assert main(["lint", shadowed]) == 1
+        assert "RULES-SHADOWED" in capsys.readouterr().out
+
+    def test_clean_file_exit_0(self, tmp_path):
+        assert main(["lint", write_spec(tmp_path, "clean")]) == 0
+
+    def test_unknown_platform_exit_2(self, capsys):
+        assert main(["lint", "no-such-platform"]) == 2
+        assert "no-such-platform" in capsys.readouterr().err
+
+    def test_invalid_spec_file_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text('{"format": "repro-platform/1", "name": "x"}',
+                        encoding="utf-8")
+        assert main(["lint", str(path)]) == 2
+
+    def test_campaign_spec_is_skipped(self, tmp_path, capsys):
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps({"scenarios": ["A1"], "setups": ["paper"]}),
+                        encoding="utf-8")
+        assert main(["lint", str(path)]) == 0
+        assert "campaign spec" in capsys.readouterr().out
+
+    def test_registered_platform_by_name(self, capsys):
+        assert main(["lint", "A1"]) == 0
+        assert "A1:" in capsys.readouterr().out
+
+
+class TestRulesExplain:
+    def test_explain_prints_trace_and_winner(self, capsys):
+        assert main(["rules", "--explain", "low", "full", "low"]) == 0
+        out = capsys.readouterr().out
+        assert "=>" in out  # the matched rule marker
+        assert "skipped" in out
+        # Every earlier rule appears with its skip reason.
+        assert "not accepted" in out
+
+    def test_explain_with_bus_level(self, capsys):
+        assert main(["rules", "--explain", "low", "full", "low", "high"]) == 0
+        assert "bus=high" in capsys.readouterr().out
+
+    def test_explain_rejects_bad_level(self, capsys):
+        assert main(["rules", "--explain", "low", "bogus", "low"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_explain_rejects_wrong_arity(self, capsys):
+        assert main(["rules", "--explain", "low"]) == 2
+
+    def test_explain_against_spec_table(self, tmp_path, capsys):
+        import json as _json
+
+        path = tmp_path / "custom.json"
+        path.write_text(_json.dumps({
+            "format": "repro-platform/1",
+            "name": "custom",
+            "ips": [{"name": "cpu",
+                     "workload": {"kind": "periodic", "task_count": 4,
+                                  "cycles": 10000, "idle_us": 200.0}}],
+            "policy": {"name": "paper",
+                       "rules": [{"state": "ON3", "label": "everything"}]},
+        }), encoding="utf-8")
+        assert main(["rules", "--spec", str(path),
+                     "--explain", "low", "full", "low"]) == 0
+        out = capsys.readouterr().out
+        assert "everything" in out
+        assert "ON3" in out
+
+    def test_spec_without_rule_table_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "noname.json"
+        path.write_text(json.dumps({
+            "format": "repro-platform/1",
+            "name": "always",
+            "ips": [{"name": "cpu",
+                     "workload": {"kind": "periodic", "task_count": 4,
+                                  "cycles": 10000, "idle_us": 200.0}}],
+            "policy": {"name": "always-on"},
+        }), encoding="utf-8")
+        assert main(["rules", "--spec", str(path),
+                     "--explain", "low", "full", "low"]) == 2
+        assert "non-rule-based" in capsys.readouterr().err
+
+    def test_select_accepts_bus_flag(self, capsys):
+        assert main(["rules", "--priority", "low", "--battery", "full",
+                     "--temperature", "low", "--bus", "high"]) == 0
+        assert "bus=high" in capsys.readouterr().out

@@ -1,0 +1,81 @@
+"""Tests for the typed findings model and the exit-code contract."""
+
+from repro.lint import CODES, Finding, LintReport, Severity
+
+
+def finding(code="RULES-SHADOWED", severity=Severity.ERROR, path="platform",
+            message="msg", suggestion=""):
+    return Finding(code=code, severity=severity, path=path, message=message,
+                   suggestion=suggestion)
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.ERROR.rank > Severity.WARN.rank > Severity.INFO.rank
+
+    def test_values_are_cli_words(self):
+        assert [s.value for s in Severity] == ["error", "warn", "info"]
+
+
+class TestFinding:
+    def test_describe_contains_all_parts(self):
+        rendered = finding(suggestion="do less").describe()
+        assert "error" in rendered
+        assert "RULES-SHADOWED" in rendered
+        assert "platform: msg" in rendered
+        assert "(do less)" in rendered
+
+    def test_describe_omits_empty_suggestion(self):
+        assert "(" not in finding().describe()
+
+    def test_to_dict_round_trips_severity_as_string(self):
+        data = finding(suggestion="fix").to_dict()
+        assert data["severity"] == "error"
+        assert data["suggestion"] == "fix"
+        assert "suggestion" not in finding().to_dict()
+
+    def test_all_codes_documented(self):
+        for code, doc in CODES.items():
+            assert code.isupper()
+            assert doc
+
+
+class TestLintReport:
+    def test_clean_report(self):
+        report = LintReport(subject="x")
+        assert report.worst is None
+        assert report.is_clean()
+        assert report.is_clean(strict=True)
+        assert "clean" in report.describe()
+
+    def test_sorted_most_severe_first(self):
+        report = LintReport(subject="x")
+        report.extend([
+            finding(severity=Severity.INFO),
+            finding(severity=Severity.ERROR),
+            finding(severity=Severity.WARN),
+        ])
+        assert [f.severity for f in report.sorted()] == [
+            Severity.ERROR, Severity.WARN, Severity.INFO,
+        ]
+
+    def test_info_only_is_clean_unless_strict(self):
+        report = LintReport(subject="x", findings=[finding(severity=Severity.INFO)])
+        assert report.worst is Severity.INFO
+        assert report.is_clean()
+        assert not report.is_clean(strict=True)
+
+    def test_warnings_and_errors_fail(self):
+        for severity in (Severity.WARN, Severity.ERROR):
+            report = LintReport(subject="x", findings=[finding(severity=severity)])
+            assert not report.is_clean()
+
+    def test_counts_and_summary_line(self):
+        report = LintReport(subject="x")
+        report.extend([finding(severity=Severity.ERROR),
+                       finding(severity=Severity.ERROR),
+                       finding(severity=Severity.INFO)])
+        assert report.count(Severity.ERROR) == 2
+        assert report.count(Severity.WARN) == 0
+        assert "2 error(s), 0 warning(s), 1 info" in report.describe()
+        assert len(report.errors) == 2

@@ -1,0 +1,100 @@
+"""The ``policy.rules`` spec field: validation, round-trip and build wiring."""
+
+import pytest
+
+from repro.dpm.rules import paper_rule_table
+from repro.errors import PlatformError
+from repro.platform import (
+    IpDef,
+    PlatformSpec,
+    PolicyDef,
+    WorkloadDef,
+    spec_from_json,
+    spec_to_json,
+)
+from repro.platform.build import build_dpm_setup
+
+
+def periodic():
+    return WorkloadDef(kind="periodic", task_count=4, cycles=10_000, idle_us=200.0)
+
+
+def spec_with_rules(rules):
+    return PlatformSpec(
+        name="custom", ips=[IpDef(name="cpu", workload=periodic())],
+        policy=PolicyDef(name="paper", rules=rules),
+    )
+
+
+WILDCARD = {"state": "ON2", "label": "catch-all"}
+
+
+class TestValidation:
+    def test_valid_rules_pass(self):
+        spec_with_rules([
+            {"state": "ON1", "priorities": ["low", "medium"],
+             "batteries": ["full"], "temperatures": None, "buses": ["high"],
+             "label": "r"},
+            WILDCARD,
+        ]).validate()
+
+    def test_rules_require_paper_policy(self):
+        spec = PlatformSpec(
+            name="x", ips=[IpDef(name="cpu", workload=periodic())],
+            policy=PolicyDef(name="always-on", rules=[WILDCARD]),
+        )
+        with pytest.raises(PlatformError, match="paper"):
+            spec.validate()
+
+    def test_empty_rule_list_rejected(self):
+        with pytest.raises(PlatformError):
+            spec_with_rules([]).validate()
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(PlatformError, match="state"):
+            spec_with_rules([{"state": "WARP9"}]).validate()
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(PlatformError):
+            spec_with_rules([{"state": "ON1", "batteries": ["overcharged"]}]).validate()
+
+    def test_empty_dimension_list_rejected(self):
+        # [] would match nothing; null is the explicit don't-care.
+        with pytest.raises(PlatformError, match="empty list"):
+            spec_with_rules([{"state": "ON1", "priorities": []}]).validate()
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(PlatformError):
+            spec_with_rules([{"state": "ON1", "colour": "red"}]).validate()
+
+
+class TestRoundTrip:
+    def test_rules_survive_json_round_trip(self):
+        spec = spec_with_rules(paper_rule_table().as_dicts())
+        spec.validate()
+        restored = spec_from_json(spec_to_json(spec))
+        assert restored.policy.rules == spec.policy.rules
+        restored.validate()
+
+    def test_rules_default_to_none(self):
+        spec = PlatformSpec(
+            name="plain", ips=[IpDef(name="cpu", workload=periodic())],
+            policy=PolicyDef(name="paper"),
+        )
+        restored = spec_from_json(spec_to_json(spec))
+        assert restored.policy.rules is None
+
+
+class TestBuildWiring:
+    def test_custom_rules_reach_the_policy(self):
+        setup = build_dpm_setup(PolicyDef(name="paper", rules=[WILDCARD]))
+        policy = setup.policy_factory()
+        assert policy.rules.name == "policy-rules"
+        assert len(policy.rules.rules) == 1
+        assert str(policy.rules.rules[0].state) == "ON2"
+
+    def test_no_rules_means_paper_table(self):
+        setup = build_dpm_setup(PolicyDef(name="paper"))
+        policy = setup.policy_factory()
+        assert policy.rules.name == paper_rule_table().name
+        assert len(policy.rules.rules) == len(paper_rule_table().rules)

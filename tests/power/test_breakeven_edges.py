@@ -1,0 +1,58 @@
+"""Edge cases of the break-even computation (lint's PSM analyzer leans on
+these exact behaviours)."""
+
+import pytest
+
+from repro.errors import PowerModelError
+from repro.power.breakeven import break_even_time
+from repro.sim.simtime import ZERO_TIME, us
+
+
+class TestZeroLatency:
+    def test_zero_latency_zero_energy_breaks_even_immediately(self):
+        assert break_even_time(
+            idle_power_w=1.0, sleep_power_w=0.1,
+            transition_energy_j=0.0, transition_latency=ZERO_TIME,
+        ) == ZERO_TIME
+
+    def test_zero_latency_with_energy_is_pure_energy_ratio(self):
+        # T_be = E_tr / (P_idle - P_sleep) = 1e-6 / 0.5 = 2 us
+        threshold = break_even_time(
+            idle_power_w=1.0, sleep_power_w=0.5,
+            transition_energy_j=1e-6, transition_latency=ZERO_TIME,
+        )
+        assert threshold == us(2.0)
+
+    def test_latency_floor_applies(self):
+        # The energy ratio would allow an earlier break-even, but the
+        # transition itself must fit in the idle window.
+        threshold = break_even_time(
+            idle_power_w=1.0, sleep_power_w=0.0,
+            transition_energy_j=1e-9, transition_latency=us(50.0),
+        )
+        assert threshold == us(50.0)
+
+
+class TestNeverBreaksEven:
+    def test_sleep_power_equal_to_idle_returns_none(self):
+        assert break_even_time(
+            idle_power_w=0.5, sleep_power_w=0.5,
+            transition_energy_j=0.0, transition_latency=ZERO_TIME,
+        ) is None
+
+    def test_sleep_power_above_idle_returns_none(self):
+        assert break_even_time(
+            idle_power_w=0.5, sleep_power_w=0.7,
+            transition_energy_j=0.0, transition_latency=ZERO_TIME,
+        ) is None
+
+
+class TestNegativeInputs:
+    @pytest.mark.parametrize("kwargs", [
+        {"idle_power_w": -1.0, "sleep_power_w": 0.1, "transition_energy_j": 0.0},
+        {"idle_power_w": 1.0, "sleep_power_w": -0.1, "transition_energy_j": 0.0},
+        {"idle_power_w": 1.0, "sleep_power_w": 0.1, "transition_energy_j": -1e-9},
+    ])
+    def test_negative_values_rejected(self, kwargs):
+        with pytest.raises(PowerModelError):
+            break_even_time(transition_latency=ZERO_TIME, **kwargs)
