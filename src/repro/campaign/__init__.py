@@ -31,6 +31,7 @@ from repro.campaign.executor import (
     CampaignSummary,
     execute_baseline,
     execute_job,
+    preflight_campaign,
     run_campaign,
 )
 from repro.campaign.spec import (
@@ -62,6 +63,7 @@ __all__ = [
     "job_hash",
     "normalize_scenario",
     "normalize_setup",
+    "preflight_campaign",
     "record_metrics",
     "render_campaign_report",
     "render_status",

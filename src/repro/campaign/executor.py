@@ -31,7 +31,13 @@ from repro.campaign.spec import CampaignSpec, JobSpec, build_scenario, build_set
 from repro.campaign.store import ResultStore
 from repro.errors import CampaignError
 
-__all__ = ["CampaignSummary", "execute_baseline", "execute_job", "run_campaign"]
+__all__ = [
+    "CampaignSummary",
+    "execute_baseline",
+    "execute_job",
+    "preflight_campaign",
+    "run_campaign",
+]
 
 
 @dataclass
@@ -206,6 +212,55 @@ def execute_job(
     return record
 
 
+def preflight_campaign(spec: CampaignSpec) -> List[str]:
+    """Reach-lint every distinct resolved platform scenario of a campaign.
+
+    Campaign grids can reference hand-written platform spec files; a typo'd
+    rule table or a policy that can never fire burns the whole grid's CPU
+    budget before anyone looks at a result.  This walks the campaign's jobs,
+    lints each distinct ``kind: "platform"`` scenario with the trajectory
+    envelope attached (``lint_spec(reach=True)``) and raises
+    :class:`~repro.errors.CampaignError` on the first platform with
+    error-severity findings.  Returns one summary line per linted platform
+    (name, finding counts) for the CLI to print.  Paper scenarios
+    (``single_ip``/``multi_ip``) are library-built and not linted here.
+    """
+    from repro.lint import Severity, lint_spec
+    from repro.platform.serialize import spec_hash
+    from repro.platform.spec import PlatformSpec
+
+    lines: List[str] = []
+    seen: set = set()
+    for job in spec.jobs():
+        scenario = job.scenario
+        if scenario.get("kind") != "platform":
+            continue
+        platform = PlatformSpec.from_dict(scenario["spec"])
+        digest = spec_hash(platform)
+        if digest in seen:
+            continue
+        seen.add(digest)
+        report = lint_spec(platform, reach=True)
+        errors = report.errors
+        if errors:
+            details = "; ".join(
+                f"{finding.code} at {finding.path}: {finding.message}"
+                for finding in errors[:3]
+            )
+            more = f" (+{len(errors) - 3} more)" if len(errors) > 3 else ""
+            raise CampaignError(
+                f"preflight: platform scenario {platform.name!r} has "
+                f"{len(errors)} error-severity lint finding(s): "
+                f"{details}{more} — fix the spec or pass --no-preflight"
+            )
+        lines.append(
+            f"preflight ok: {platform.name} "
+            f"({report.count(Severity.WARN)} warning(s), "
+            f"{report.count(Severity.INFO)} info)"
+        )
+    return lines
+
+
 def _execute_job_star(payload) -> Dict[str, Any]:
     """Pool adapter: unpack ``(job_dict, timeout_s, baseline_figures, trace)``."""
     job_dict, timeout_s, baseline_figures, trace = payload
@@ -226,6 +281,7 @@ def run_campaign(
     job_timeout_s: Optional[float] = None,
     progress: Optional[Callable[[Dict[str, Any]], None]] = None,
     trace_format: Optional[str] = None,
+    preflight: bool = True,
 ) -> CampaignSummary:
     """Execute a campaign grid, persisting every result to ``directory``.
 
@@ -251,9 +307,17 @@ def run_campaign(
         run is traced to ``<directory>/traces/<job_id>.<ext>`` and its
         record carries the path.  Job hashes are unaffected, so ``--resume``
         still matches records produced without tracing (and vice versa).
+    preflight:
+        When true (the default), every distinct ``kind: "platform"``
+        scenario is reach-linted (:func:`preflight_campaign`) *before* any
+        job runs; error-severity findings abort the campaign with a
+        :class:`~repro.errors.CampaignError` instead of burning the grid's
+        CPU budget on a broken spec.
     """
     if workers < 1:
         raise CampaignError("workers must be >= 1")
+    if preflight:
+        preflight_campaign(spec)
     timeout_s = job_timeout_s if job_timeout_s is not None else spec.job_timeout_s
     store = ResultStore(directory)
     store.write_manifest(spec.to_dict())

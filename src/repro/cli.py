@@ -185,6 +185,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict", action="store_true",
         help="exit 1 on info-level findings too",
     )
+    lint.add_argument(
+        "--reach", action="store_true",
+        help="attach the trajectory reachability envelope: uncovered rules "
+             "the dynamics can never reach downgrade to info, and "
+             "trajectory-dead rules/thresholds are reported",
+    )
+
+    reach = subparsers.add_parser(
+        "reach",
+        help="interval abstract interpretation of a platform's trajectory: "
+             "reachable battery/thermal/bus levels with entry-time bounds",
+    )
+    reach.add_argument(
+        "spec", metavar="SPEC",
+        help="spec file or registered platform name",
+    )
 
     sweep = subparsers.add_parser("sweep", help="battery x temperature condition sweep")
     sweep.add_argument("--tasks", type=int, default=20, help="tasks per scenario")
@@ -243,6 +259,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FORMAT",
         help="trace every job's DPM run; per-job files land in the campaign "
         "directory's traces/ folder (bare --trace means jsonl)",
+    )
+    campaign_run.add_argument(
+        "--no-preflight", action="store_true",
+        help="skip the reach-lint preflight of the grid's platform specs "
+        "(by default, error-severity findings abort before any job runs)",
     )
 
     campaign_status_p = campaign_sub.add_parser(
@@ -583,15 +604,36 @@ def _cmd_lint(args) -> int:
                 bad_input += 1
                 print(f"error: {target}: {error}", file=sys.stderr)
                 continue
-            reports.append(lint_spec(spec))
+            reports.append(lint_spec(spec, reach=args.reach))
     elif not args.self_check:
         for name in platform_names():
-            reports.append(lint_spec(platform_by_name(name)))
+            reports.append(lint_spec(platform_by_name(name), reach=args.reach))
     for report in reports:
         print(report.describe())
     if bad_input:
         return 2
     return 0 if all(r.is_clean(strict=args.strict) for r in reports) else 1
+
+
+def _cmd_reach(args) -> int:
+    import os
+
+    from repro.errors import ReproError
+    from repro.lint import build_model, compute_reach
+    from repro.platform import PlatformSpec, load_spec_dict, platform_by_name
+
+    target = args.spec
+    try:
+        if os.path.exists(target) or target.endswith((".json", ".toml")):
+            spec = PlatformSpec.from_dict(load_spec_dict(target))
+        else:
+            spec = platform_by_name(target)
+        result = compute_reach(build_model(spec))
+    except (ReproError, OSError) as error:
+        print(f"error: {target}: {error}", file=sys.stderr)
+        return 2
+    print(result.describe())
+    return 0
 
 
 def _cmd_sweep(args) -> int:
@@ -688,6 +730,7 @@ def _cmd_campaign_inner(args) -> int:
         CampaignSpec,
         ResultStore,
         campaign_status,
+        preflight_campaign,
         render_campaign_report,
         render_status,
         run_campaign,
@@ -701,6 +744,13 @@ def _cmd_campaign_inner(args) -> int:
         if args.accuracy is not None:
             spec.accuracy = args.accuracy
         directory = args.directory or os.path.join("campaigns", spec.name)
+        if not args.no_preflight:
+            # Lint here (not inside run_campaign) so the per-platform
+            # summary lines are printed; errors raise CampaignError and
+            # surface through the standard error path with exit code 2.
+            for line in preflight_campaign(spec):
+                if not args.quiet:
+                    print(line)
         progress = None
         if not args.quiet:
             def progress(record):
@@ -714,6 +764,7 @@ def _cmd_campaign_inner(args) -> int:
             job_timeout_s=args.timeout,
             progress=progress,
             trace_format=args.trace,
+            preflight=False,
         )
         print(
             f"campaign {summary.campaign!r}: {summary.total_jobs} jobs, "
@@ -1003,6 +1054,7 @@ _COMMANDS = {
     "platform": _cmd_platform,
     "fuzz": _cmd_fuzz,
     "lint": _cmd_lint,
+    "reach": _cmd_reach,
 }
 
 

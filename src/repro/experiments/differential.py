@@ -33,6 +33,16 @@ returns one :class:`OracleVerdict` per oracle:
     (plus at most the completed transition latencies, which the PSM books
     against the source state *on top of* the elapsed-time integration),
     bus grants matched by releases, and well-ordered execution records.
+``lint_reach``
+    Static analysis agrees with dynamics: the spec is linted with the
+    trajectory envelope attached (``lint_spec(reach=True)``, findings are
+    advisory for generated platforms), every ``lem.decision`` context of
+    a traced run lies inside the reachability envelope
+    (:func:`repro.lint.reach.compute_reach`), and rules the analysis
+    declared statically shadowed or trajectory-dead never fire.  An
+    escape is an unsoundness in the abstract interpretation; a dead rule
+    firing is a lint false positive — either way a generated platform
+    just disproved a static claim.
 
 Oracles that cannot apply (no bus, native unavailable, baseline exhausted
 its budget) report ``skip`` with a reason rather than vanishing silently.
@@ -75,6 +85,7 @@ ALL_ORACLES = (
     "bus_timing",
     "policy",
     "structural",
+    "lint_reach",
 )
 
 
@@ -467,6 +478,71 @@ def _oracle_structural(spec: PlatformSpec, base: RunArtifacts) -> OracleVerdict:
     return OracleVerdict("structural", "pass")
 
 
+def _oracle_lint_reach(spec: PlatformSpec, backend) -> OracleVerdict:
+    """Static lint (with the trajectory envelope) vs one traced run."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.experiments.lint_crosscheck import decision_contexts
+    from repro.lint import build_model, lint_spec, spec_rule_table
+    from repro.lint.reach import compute_reach
+    from repro.obs.session import TraceRequest
+
+    # Lint findings on a *generated* spec are advisory (the generator is
+    # free to produce saturated buses or hopeless break-evens; the corpus
+    # sidecar records them at save time).  What the oracle enforces is the
+    # *agreement* between the static claims and a traced run: containment
+    # in the reachable envelope and silence of statically-dead rules.
+    report = lint_spec(spec, reach=True)
+    reach = compute_reach(build_model(spec))
+    table = spec_rule_table(spec)
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = Path(tmp) / "lint_reach_trace.jsonl"
+        request = TraceRequest(
+            format="jsonl", path=str(trace_path), events=("lem.decision",)
+        )
+        artifacts = run_scenario(spec, None, trace=request, backend=backend)
+        contexts = decision_contexts(artifacts.trace_path or trace_path)
+    problems: List[str] = []
+    escapes = [c for c in contexts if not reach.is_reachable(c)]
+    for context in escapes[:3]:
+        problems.append(
+            f"observed context escapes the reachable envelope: "
+            f"{context.describe()}"
+        )
+    if len(escapes) > 3:
+        problems.append(f"... and {len(escapes) - 3} more escape(s)")
+    if table is not None and contexts:
+        fired: Dict[int, int] = {}
+        for context in contexts:
+            index = table.first_match_index(context)
+            if index is not None:
+                fired[index] = fired.get(index, 0) + 1
+        live = reach.live_rule_indices(table)
+        for index in sorted(fired):
+            if index in set(table.unreachable_rules()):
+                problems.append(
+                    f"statically shadowed rule {index} "
+                    f"({table.rules[index].describe()}) won "
+                    f"{fired[index]} decision(s)"
+                )
+            elif index not in live:
+                problems.append(
+                    f"trajectory-dead rule {index} "
+                    f"({table.rules[index].describe()}) won "
+                    f"{fired[index]} decision(s)"
+                )
+    if problems:
+        return OracleVerdict("lint_reach", "fail", "; ".join(problems))
+    detail = (
+        f"{len(contexts)} decision(s) contained"
+        if contexts else "no rule decisions traced; envelope vacuously sound"
+    )
+    if report.errors:
+        detail += f" ({len(report.errors)} advisory lint error(s) on the spec)"
+    return OracleVerdict("lint_reach", "pass", detail)
+
+
 # ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
@@ -521,6 +597,8 @@ def run_differential(
                 verdict = _oracle_bus_timing(spec, backend)
             elif name == "policy":
                 verdict = _oracle_policy(spec, backend)
+            elif name == "lint_reach":
+                verdict = _oracle_lint_reach(spec, backend)
             else:
                 verdict = _oracle_structural(spec, base)
         except ReproError as error:

@@ -1,4 +1,4 @@
-"""Dynamic cross-validation of the static rules analyzer.
+"""Dynamic cross-validation of the static rules and reachability analyses.
 
 The lint rules analyzer (:mod:`repro.lint.rules`) claims some rules are
 *statically* unreachable — no input the platform can produce will ever reach
@@ -8,10 +8,20 @@ the :mod:`repro.obs` stream through
 :meth:`~repro.dpm.rules.RuleTable.first_match_index`, and checks that the
 statically-dead rules fired **zero** times.
 
-Two directions of confidence:
+The trajectory-reachability engine (:mod:`repro.lint.reach`) makes the
+stronger claim that its interval abstraction over-approximates every
+context a run can present.  The same traced replay enforces it: each
+observed decision context must lie **inside** the static reachable
+envelope, and every rule the envelope declares trajectory-dead must have
+fired zero times.  A dynamically observed context outside the abstraction
+is a hard violation — soundness is part of the test contract, not a hope.
+
+Directions of confidence:
 
 * a statically-unreachable rule that fires dynamically would be a lint
   false positive (the analyzer's lattice enumeration is wrong);
+* an observed context escaping the reachable envelope would be a reach
+  false negative (the abstract interpretation is unsound);
 * an injected shadowed rule that lint flags *and* never fires confirms a
   true positive end to end (see the lint test suite).
 
@@ -55,22 +65,31 @@ class CrosscheckResult:
     fire_counts: Dict[int, int] = field(default_factory=dict)
     #: rule indices the static analysis declared unreachable
     unreachable: Tuple[int, ...] = ()
+    #: rule indices the reach envelope declared trajectory-dead
+    trajectory_dead: Tuple[int, ...] = ()
+    #: True when the reach-envelope containment check ran
+    reach_checked: bool = False
     #: human-readable disagreements (empty when static and dynamic agree)
     violations: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        """True when no statically-dead rule fired."""
+        """True when no statically-dead rule fired and (when checked) every
+        observed context stayed inside the reachable envelope."""
         return not self.violations
 
     def describe(self) -> str:
         """One-line summary for CLI/CI output."""
         status = "ok" if self.ok else f"{len(self.violations)} violation(s)"
         fired = sum(1 for count in self.fire_counts.values() if count)
+        reach = (
+            f", {len(self.trajectory_dead)} trajectory-dead, envelope checked"
+            if self.reach_checked else ""
+        )
         return (
             f"{self.scenario}: {self.decision_count} decisions, "
             f"{fired} rule(s) fired, {len(self.unreachable)} statically "
-            f"unreachable -> {status}"
+            f"unreachable{reach} -> {status}"
         )
 
 
@@ -111,10 +130,25 @@ def _replay(table: RuleTable, contexts: Sequence[RuleContext]) -> Dict[int, int]
     return counts
 
 
+def _resolve_spec(scenario, name: str):
+    """The :class:`PlatformSpec` behind ``scenario``, if one exists."""
+    from repro.platform.registry import has_platform, platform_by_name
+    from repro.platform.spec import PlatformSpec
+
+    if isinstance(scenario, PlatformSpec):
+        return scenario
+    if isinstance(scenario, str) and has_platform(scenario):
+        return platform_by_name(scenario)
+    if has_platform(name):
+        return platform_by_name(name)
+    return None
+
+
 def crosscheck_scenario(
     scenario,
     table: Optional[RuleTable] = None,
     trace_dir: "Path | str | None" = None,
+    reach: bool = True,
 ) -> CrosscheckResult:
     """Run one scenario traced and compare fired rules against the static
     unreachability analysis.
@@ -126,6 +160,12 @@ def crosscheck_scenario(
     ``policy.rules``, and to the paper's Table 1 otherwise — i.e. the table
     the run actually consulted.  ``trace_dir`` holds the throwaway JSONL
     trace (default: the current directory).
+
+    With ``reach=True`` (the default) and a resolvable platform spec, the
+    trajectory envelope (:func:`repro.lint.reach.compute_reach`) is also
+    validated: every observed decision context must be contained in the
+    static reachable set, and trajectory-dead rules must not have fired.
+    Either disagreement is a violation — the soundness contract is hard.
     """
     from repro.experiments.runner import run_scenario
     from repro.obs.session import TraceRequest
@@ -144,6 +184,14 @@ def crosscheck_scenario(
         else:
             table = paper_rule_table()
     name = getattr(scenario, "name", str(scenario))
+    reach_result = None
+    if reach:
+        spec = _resolve_spec(scenario, name)
+        if spec is not None:
+            from repro.lint import build_model
+            from repro.lint.reach import compute_reach
+
+            reach_result = compute_reach(build_model(spec))
     directory = Path(trace_dir) if trace_dir is not None else Path(".")
     trace_path = directory / f"{name}_crosscheck_trace.jsonl"
     request = TraceRequest(
@@ -164,12 +212,40 @@ def crosscheck_scenario(
         for index in unreachable
         if fire_counts.get(index)
     ]
+    trajectory_dead: Tuple[int, ...] = ()
+    if reach_result is not None:
+        escapes = [
+            context for context in contexts
+            if not reach_result.is_reachable(context)
+        ]
+        for context in escapes[:5]:
+            violations.append(
+                f"observed context escapes the static reachable envelope: "
+                f"{context.describe()}"
+            )
+        if len(escapes) > 5:
+            violations.append(
+                f"... and {len(escapes) - 5} more context(s) escaped"
+            )
+        live = reach_result.live_rule_indices(table)
+        trajectory_dead = tuple(
+            index for index in range(len(table.rules)) if index not in live
+        )
+        for index in trajectory_dead:
+            if fire_counts.get(index):
+                violations.append(
+                    f"rule {index} ({table.rules[index].describe()}) is "
+                    f"trajectory-dead per the reach envelope but won "
+                    f"{fire_counts[index]} decision(s)"
+                )
     return CrosscheckResult(
         scenario=name,
         table_name=table.name,
         decision_count=len(contexts),
         fire_counts=fire_counts,
         unreachable=unreachable,
+        trajectory_dead=trajectory_dead,
+        reach_checked=reach_result is not None,
         violations=violations,
     )
 

@@ -84,7 +84,7 @@ class Corpus:
         try:
             from repro.lint import Severity, lint_spec
 
-            report = lint_spec(spec)
+            report = lint_spec(spec, reach=True)
             sidecar = {
                 "spec": path.name,
                 "findings": [finding.to_dict() for finding in report.sorted()],

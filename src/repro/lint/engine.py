@@ -25,9 +25,18 @@ ANALYZERS: Tuple[Callable[[SpecModel], List[Finding]], ...] = (
 )
 
 
-def lint_spec(spec: PlatformSpec) -> LintReport:
-    """Run every spec analyzer over one (already validated) platform."""
+def lint_spec(spec: PlatformSpec, reach: bool = False) -> LintReport:
+    """Run every spec analyzer over one (already validated) platform.
+
+    With ``reach=True`` the trajectory-reachability envelope is computed
+    first (:func:`repro.lint.reach.compute_reach`) and attached to the
+    model, making the rules/psm/policy analyzers trajectory-aware.
+    """
     model = build_model(spec)
+    if reach:
+        from repro.lint.reach import compute_reach
+
+        model.reach = compute_reach(model)
     report = LintReport(subject=spec.name)
     for analyze in ANALYZERS:
         report.extend(analyze(model))

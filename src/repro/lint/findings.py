@@ -43,15 +43,18 @@ CODES: Dict[str, str] = {
     "RULES-CONTRADICTION": "two rules accept identical inputs but select different states",
     "RULES-DUPLICATE": "two rules accept identical inputs and select the same state",
     "RULES-UNCOVERED": "no rule matches part of the priority x battery x temperature x bus lattice",
+    "RULE-DEAD-TRAJECTORY": "rule only matches contexts outside the reachable trajectory envelope",
     # -- psm analyzer -----------------------------------------------------
     "PSM-UNREACHABLE": "low-power state has no entry transition from any ON state",
     "PSM-NO-WAKE": "low-power state is absorbing: no wake transition back to any ON state",
     "PSM-SLEEP-POWER": "sleep-state residual power >= idle power, the state can never break even",
     "PSM-BREAK-EVEN": "break-even time exceeds the platform's whole simulated horizon",
+    "PSM-BREAK-EVEN-IDLE": "break-even time exceeds the workload's largest idle gap",
     # -- policy analyzer --------------------------------------------------
     "POLICY-TIMEOUT": "fixed timeout is below the IP's minimum break-even time",
     "POLICY-GEM-INERT": "GEM battery thresholds can never trigger given the battery model",
     "POLICY-STATE-UNKNOWN": "policy names a sleep state the IP's transition table cannot reach",
+    "POLICY-GEM-UNREACHABLE": "GEM gating levels lie outside the reachable battery/thermal envelope",
     # -- bus analyzer -----------------------------------------------------
     "BUS-SATURATED": "aggregate workload traffic exceeds the bus bandwidth",
     "BUS-HOT": "aggregate workload traffic exceeds 80% of the bus bandwidth",

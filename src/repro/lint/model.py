@@ -12,7 +12,7 @@ library objects).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.dpm.rules import RuleTable, paper_rule_table
 from repro.errors import ReproError
@@ -30,6 +30,9 @@ from repro.power.characterization import (
 from repro.power.states import SLEEP_STATES, PowerState
 from repro.power.transitions import TransitionTable, default_transition_table
 from repro.soc.workload import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (reach imports us)
+    from repro.lint.reach import ReachResult
 
 __all__ = ["IpModel", "SpecModel", "build_model", "spec_rule_table"]
 
@@ -93,6 +96,9 @@ class SpecModel:
     spec: PlatformSpec
     table: Optional[RuleTable]
     ips: List[IpModel]
+    #: trajectory envelope from :func:`repro.lint.reach.compute_reach`;
+    #: ``None`` unless the lint run was asked for reachability analysis
+    reach: Optional["ReachResult"] = None
 
     @property
     def horizon_s(self) -> float:

@@ -13,16 +13,23 @@
   the fixed-timeout sleep state, or a selection rule) names a low-power
   state some IP's transition table cannot enter from ON1; the command
   would fault or be ignored at runtime.
+* ``POLICY-GEM-UNREACHABLE`` — only with a trajectory envelope attached
+  (``lint --reach``): the GEM is enabled on battery power, but neither a
+  poor battery level (empty/low) nor a high temperature is inside the
+  reachable envelope for this horizon, so the GEM can never gate anything
+  — a softer, trajectory-aware sibling of ``POLICY-GEM-INERT``.
 """
 
 from __future__ import annotations
 
 from typing import List, Set, Tuple
 
+from repro.battery.status import BatteryLevel
 from repro.lint.findings import Finding, Severity
 from repro.lint.model import IpModel, SpecModel
 from repro.power.states import PowerState
 from repro.sim.simtime import ms
+from repro.thermal.level import TemperatureLevel
 
 __all__ = ["analyze_policy"]
 
@@ -91,6 +98,33 @@ def _check_gem(model: SpecModel) -> List[Finding]:
     )]
 
 
+def _check_gem_reach(model: SpecModel) -> List[Finding]:
+    spec = model.spec
+    reach = model.reach
+    if reach is None or not spec.gem.enabled or spec.battery.on_ac_power:
+        return []
+    # The GEM gates on a poor battery (empty/low) or a high temperature
+    # (repro.dpm.gem._BATTERY_POOR / _TEMPERATURE_OK).  The envelope already
+    # over-approximates anything the run can present, so an empty
+    # intersection proves the GEM inert on this platform and horizon.
+    poor_battery = {BatteryLevel.EMPTY, BatteryLevel.LOW} & set(reach.battery_set)
+    high_temperature = TemperatureLevel.HIGH in reach.temperature_set
+    if poor_battery or high_temperature:
+        return []
+    return [Finding(
+        code="POLICY-GEM-UNREACHABLE",
+        severity=Severity.INFO,
+        path="platform.gem",
+        message=(
+            "the GEM is enabled, but the reachable envelope over the "
+            f"{spec.max_time_ms:g} ms horizon contains neither a poor "
+            "battery level (empty/low) nor a high temperature; its gating "
+            "can never trigger on this platform"
+        ),
+        suggestion="disable the GEM or lengthen the horizon",
+    )]
+
+
 def _referenced_states(model: SpecModel) -> List[Tuple[str, PowerState]]:
     """(spec path, low-power state) pairs the configuration commands."""
     referenced: List[Tuple[str, PowerState]] = []
@@ -138,5 +172,6 @@ def _check_referenced_states(model: SpecModel) -> List[Finding]:
 def analyze_policy(model: SpecModel) -> List[Finding]:
     findings = _check_timeout(model)
     findings.extend(_check_gem(model))
+    findings.extend(_check_gem_reach(model))
     findings.extend(_check_referenced_states(model))
     return findings

@@ -14,6 +14,10 @@ characterisation, or the spec's custom ``psm``) as a directed graph:
 * ``PSM-BREAK-EVEN`` — the break-even idle time is longer than the whole
   simulated horizon (``max_time_ms``); no idle period inside a run can
   ever amortise the transition energy.
+* ``PSM-BREAK-EVEN-IDLE`` — only with a trajectory envelope attached
+  (``lint --reach``): the break-even time fits the horizon but exceeds the
+  IP's largest *workload* idle gap, so no real idle period between tasks
+  can amortise the state either — the horizon check alone was too lax.
 """
 
 from __future__ import annotations
@@ -82,6 +86,11 @@ def _analyze_ip(model: SpecModel, ip_model: IpModel) -> List[Finding]:
 
     if ip_model.breakeven is not None:
         horizon = sec(model.horizon_s)
+        max_idle_gap_s = None
+        if model.reach is not None:
+            ip_reach = model.reach.ips[ip_model.index]
+            if ip_reach.priorities:  # only meaningful when the IP has tasks
+                max_idle_gap_s = ip_reach.max_idle_gap_s
         for entry in ip_model.breakeven.entries:
             if entry.break_even is None:
                 idle_w = ip_model.characterization.idle_power_w(PowerState.ON1)
@@ -109,6 +118,26 @@ def _analyze_ip(model: SpecModel, ip_model: IpModel) -> List[Finding]:
                     ),
                     suggestion=(
                         f"cheapen the {entry.state} transitions or drop the state"
+                    ),
+                ))
+            elif (
+                max_idle_gap_s is not None
+                and entry.break_even.seconds > max_idle_gap_s
+            ):
+                findings.append(Finding(
+                    code="PSM-BREAK-EVEN-IDLE",
+                    severity=Severity.INFO,
+                    path=path,
+                    message=(
+                        f"{entry.state} breaks even after "
+                        f"{entry.break_even.seconds * 1e6:.3g} us, but the "
+                        f"workload's largest idle gap is only "
+                        f"{max_idle_gap_s * 1e6:.3g} us; no idle period "
+                        "between tasks can amortise its transition cost"
+                    ),
+                    suggestion=(
+                        f"cheapen the {entry.state} transitions or lengthen "
+                        "the workload's idle periods"
                     ),
                 ))
     return findings

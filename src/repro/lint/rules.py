@@ -13,11 +13,19 @@ policy's custom ``rules``, see :func:`repro.lint.model.spec_rule_table`):
   :meth:`~repro.dpm.rules.RuleTable.select` raises at runtime; contexts the
   spec can never produce (e.g. battery levels of a platform on AC power)
   are reported as info.
+
+When the lint run carries a trajectory envelope (``lint --reach``,
+:mod:`repro.lint.reach`), feasibility sharpens from the static on-AC check
+to the abstract-interpretation one: uncovered contexts the envelope proves
+unreachable within the horizon downgrade to info, and rules whose *entire*
+first-match set lies outside the envelope get ``RULE-DEAD-TRAJECTORY`` —
+dead code relative to this platform's actual dynamics, even though the
+rule is not shadowed by the table itself.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Iterable, List, Tuple
 
 from repro.battery.status import BatteryLevel
 from repro.lint.findings import Finding, Severity
@@ -35,6 +43,11 @@ def _feasible(model: SpecModel) -> Tuple[Tuple[BatteryLevel, ...], Tuple[BusLeve
         batteries = tuple(level for level in BatteryLevel if level.is_battery)
     buses = tuple(BusLevel) if model.spec.bus.enabled else (BusLevel.LOW,)
     return batteries, buses
+
+
+def _levels(levels: Iterable[object]) -> str:
+    """Compact set rendering for messages: ``{low,medium}``."""
+    return "{" + ",".join(sorted(str(level) for level in levels)) + "}"
 
 
 def analyze_rules(model: SpecModel) -> List[Finding]:
@@ -93,7 +106,8 @@ def analyze_rules(model: SpecModel) -> List[Finding]:
         else:
             seen[key] = (index, rule)
 
-    for index in table.unreachable_rules():
+    shadowed = set(table.unreachable_rules())
+    for index in sorted(shadowed):
         if index in duplicate_indices:
             continue  # already reported with the sharper duplicate diagnosis
         findings.append(Finding(
@@ -108,6 +122,32 @@ def analyze_rules(model: SpecModel) -> List[Finding]:
             suggestion="move the rule earlier or delete it",
         ))
 
+    reach = model.reach
+    if reach is not None and reach.has_decisions:
+        # Trajectory-dead rules: not shadowed by the table, but their whole
+        # first-match set lies outside the reachable envelope.  The library
+        # table over a narrow platform legitimately has many such rows, so
+        # severity follows the custom-vs-library split (warn vs info).
+        live = reach.live_rule_indices(table)
+        dead_trajectory_severity = Severity.WARN if custom else Severity.INFO
+        for index in range(len(rules)):
+            if index in live or index in shadowed or index in duplicate_indices:
+                continue
+            findings.append(Finding(
+                code="RULE-DEAD-TRAJECTORY",
+                severity=dead_trajectory_severity,
+                path=f"{path}[{index}]",
+                message=(
+                    f"{name(index)} only first-matches contexts outside the "
+                    f"reachable envelope (battery {_levels(reach.battery_set)}, "
+                    f"temperature {_levels(reach.temperature_set)}, "
+                    f"bus {_levels(reach.bus_set)} over the "
+                    f"{model.spec.max_time_ms:g} ms horizon); it can never "
+                    f"fire on this platform{fidelity_note}"
+                ),
+                suggestion="widen the platform's horizon/envelope or drop the rule",
+            ))
+
     uncovered = table.uncovered_contexts()
     if uncovered:
         batteries, buses = _feasible(model)
@@ -116,6 +156,14 @@ def analyze_rules(model: SpecModel) -> List[Finding]:
             if context.battery in batteries and context.bus in buses
         ]
         infeasible_count = len(uncovered) - len(feasible)
+        trajectory_dead: List = []
+        if reach is not None and feasible:
+            # Sharpen static feasibility with the trajectory envelope: an
+            # uncovered context the abstraction proves unreachable cannot
+            # raise at runtime, so it is informational, not an error.
+            still_feasible = [c for c in feasible if reach.is_reachable(c)]
+            trajectory_dead = [c for c in feasible if not reach.is_reachable(c)]
+            feasible = still_feasible
         if feasible:
             sample = "; ".join(context.describe() for context in feasible[:4])
             if len(feasible) > 4:
@@ -129,6 +177,18 @@ def analyze_rules(model: SpecModel) -> List[Finding]:
                     f"would raise at runtime: {sample}"
                 ),
                 suggestion="append a wildcard fallback rule (all fields null)",
+            ))
+        if trajectory_dead:
+            findings.append(Finding(
+                code="RULES-UNCOVERED",
+                severity=Severity.INFO,
+                path=path,
+                message=(
+                    f"{len(trajectory_dead)} uncovered context(s) are feasible "
+                    "statically but lie outside the reachable trajectory "
+                    "envelope for this horizon"
+                ),
+                suggestion="append a wildcard fallback rule for robustness",
             ))
         if infeasible_count:
             findings.append(Finding(

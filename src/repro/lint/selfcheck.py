@@ -206,7 +206,9 @@ class _DeterminismVisitor(ast.NodeVisitor):
         self._check_iter(node.iter)
         self.generic_visit(node)
 
-    def _visit_comprehension(self, node) -> None:
+    def _visit_comprehension(
+        self, node: "ast.ListComp | ast.SetComp | ast.DictComp | ast.GeneratorExp"
+    ) -> None:
         for generator in node.generators:
             self._check_iter(generator.iter)
         self.generic_visit(node)

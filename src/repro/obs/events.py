@@ -13,7 +13,7 @@ bools *are* ints) so a schema drift cannot hide behind duck typing.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
 
 from repro.errors import ReproError
 
@@ -31,23 +31,23 @@ class ObsError(ReproError):
     """Raised for malformed events or unknown event kinds/categories."""
 
 
-def _is_str(value):
+def _is_str(value: object) -> bool:
     return isinstance(value, str)
 
 
-def _is_int(value):
+def _is_int(value: object) -> bool:
     return isinstance(value, int) and not isinstance(value, bool)
 
 
-def _is_num(value):
+def _is_num(value: object) -> bool:
     return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
-def _is_bool(value):
+def _is_bool(value: object) -> bool:
     return isinstance(value, bool)
 
 
-def _is_str_list(value):
+def _is_str_list(value: object) -> bool:
     return isinstance(value, (list, tuple)) and all(isinstance(v, str) for v in value)
 
 
@@ -60,26 +60,41 @@ _CHECKER_NAMES = {
 }
 
 
+#: A field checker: value -> "matches the documented type".
+_Checker = Callable[[object], bool]
+
+
 class EventType:
     """Documented shape of one event kind."""
 
     __slots__ = ("kind", "description", "required", "optional")
 
-    def __init__(self, kind, description, required, optional=None):
+    def __init__(
+        self,
+        kind: str,
+        description: str,
+        required: Mapping[str, _Checker],
+        optional: Optional[Mapping[str, _Checker]] = None,
+    ) -> None:
         self.kind = kind
         self.description = description
         self.required = dict(required)
         self.optional = dict(optional or {})
 
     @property
-    def category(self):
+    def category(self) -> str:
         return self.kind.split(".", 1)[0]
 
-    def field_names(self):
+    def field_names(self) -> Tuple[str, ...]:
         return tuple(self.required) + tuple(self.optional)
 
 
-def _event(kind, description, required, optional=None):
+def _event(
+    kind: str,
+    description: str,
+    required: Mapping[str, _Checker],
+    optional: Optional[Mapping[str, _Checker]] = None,
+) -> Tuple[str, EventType]:
     return kind, EventType(kind, description, required, optional)
 
 

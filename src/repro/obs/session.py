@@ -24,11 +24,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.obs.events import ObsError, expand_event_filter
 from repro.obs.sinks import TRACE_EXTENSIONS, write_jsonl, write_perfetto
 from repro.obs.tracer import Tracer
+
+if TYPE_CHECKING:
+    from repro.platform.spec import TraceDef
+    from repro.sim.simtime import SimTime
+    from repro.soc.soc import SoC
 
 __all__ = ["TRACE_FORMATS", "TraceRequest", "TraceSession", "instrument"]
 
@@ -44,7 +49,7 @@ class TraceRequest:
     path: Optional[str] = None
     events: Optional[Tuple[str, ...]] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.format not in TRACE_FORMATS:
             raise ObsError(
                 f"unknown trace format {self.format!r}; expected one of "
@@ -56,7 +61,7 @@ class TraceRequest:
             raise ObsError("event filters only apply to jsonl/perfetto traces")
 
     @classmethod
-    def from_trace_def(cls, trace_def) -> Optional["TraceRequest"]:
+    def from_trace_def(cls, trace_def: Optional["TraceDef"]) -> Optional["TraceRequest"]:
         """Build a request from a spec's ``TraceDef`` (None when disabled)."""
         if trace_def is None or not trace_def.enabled:
             return None
@@ -73,7 +78,7 @@ class TraceRequest:
         return Path(f"{stem}_trace.{TRACE_EXTENSIONS[self.format]}")
 
 
-def instrument(soc, tracer: Tracer) -> None:
+def instrument(soc: "SoC", tracer: Tracer) -> None:
     """Point every instrumented component of a built SoC at ``tracer``.
 
     Emits one ``sim.backend`` event recording the kernel backend that runs
@@ -125,15 +130,15 @@ class TraceSession:
     an explicit ``request.path`` wins.
     """
 
-    def __init__(self, request: TraceRequest, stem: str):
+    def __init__(self, request: TraceRequest, stem: str) -> None:
         self.request = request
         self.path = request.resolve_path(stem)
         self.tracer: Optional[Tracer] = (
             Tracer(request.events) if request.format != "vcd" else None
         )
-        self._soc = None
+        self._soc: Optional["SoC"] = None
 
-    def attach(self, soc) -> None:
+    def attach(self, soc: "SoC") -> None:
         """Hook the (already built, not yet run) SoC up for tracing."""
         self._soc = soc
         if self.tracer is not None:
@@ -146,7 +151,7 @@ class TraceSession:
         if soc.bus is not None:
             soc.simulator.watch(soc.bus.busy_signal)
 
-    def finish(self, end_time=None) -> Path:
+    def finish(self, end_time: Optional["SimTime"] = None) -> Path:
         """Write the trace file and detach; returns the output path."""
         if self._soc is None:
             raise ObsError("TraceSession.finish called before attach")

@@ -29,7 +29,10 @@ microseconds, so ``ts = t_fs / 1e9`` (float µs keeps sub-µs event order).
 from __future__ import annotations
 
 import json
-from typing import Dict, List
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.obs.tracer import TraceEvent
 
 __all__ = [
     "TRACE_EXTENSIONS",
@@ -42,7 +45,7 @@ __all__ = [
 TRACE_EXTENSIONS = {"jsonl": "jsonl", "perfetto": "json", "vcd": "vcd"}
 
 
-def write_jsonl(events, path):
+def write_jsonl(events: Sequence[TraceEvent], path: Union[str, Path]) -> int:
     """Write one JSON object per line; returns the event count."""
     with open(path, "w", encoding="utf-8") as handle:
         for event in events:
@@ -51,14 +54,14 @@ def write_jsonl(events, path):
     return len(events)
 
 
-def _us(t_fs):
+def _us(t_fs: int) -> float:
     return t_fs / 1e9
 
 
 class _PerfettoBuilder:
     """Accumulates Chrome trace events with stable per-source tracks."""
 
-    def __init__(self, process_name):
+    def __init__(self, process_name: str) -> None:
         self.out: List[dict] = []
         self._tids: Dict[str, int] = {}
         self._async_id = 0
@@ -67,7 +70,7 @@ class _PerfettoBuilder:
             "args": {"name": process_name},
         })
 
-    def tid(self, source):
+    def tid(self, source: str) -> int:
         tid = self._tids.get(source)
         if tid is None:
             tid = len(self._tids) + 1
@@ -78,7 +81,15 @@ class _PerfettoBuilder:
             })
         return tid
 
-    def async_slice(self, cat, name, source, start_fs, end_fs, args=None):
+    def async_slice(
+        self,
+        cat: str,
+        name: str,
+        source: str,
+        start_fs: int,
+        end_fs: int,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
         self._async_id += 1
         ident = self._async_id
         tid = self.tid(source)
@@ -94,7 +105,14 @@ class _PerfettoBuilder:
             "pid": 1, "tid": tid, "ts": _us(end_fs),
         })
 
-    def instant(self, cat, name, source, t_fs, args=None):
+    def instant(
+        self,
+        cat: str,
+        name: str,
+        source: str,
+        t_fs: int,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
         event = {
             "ph": "i", "s": "t", "cat": cat, "name": name,
             "pid": 1, "tid": self.tid(source), "ts": _us(t_fs),
@@ -103,7 +121,15 @@ class _PerfettoBuilder:
             event["args"] = args
         self.out.append(event)
 
-    def complete(self, cat, name, source, start_fs, dur_fs, args=None):
+    def complete(
+        self,
+        cat: str,
+        name: str,
+        source: str,
+        start_fs: int,
+        dur_fs: int,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
         event = {
             "ph": "X", "cat": cat, "name": name,
             "pid": 1, "tid": self.tid(source),
@@ -113,7 +139,9 @@ class _PerfettoBuilder:
             event["args"] = args
         self.out.append(event)
 
-    def counter(self, name, source, t_fs, values):
+    def counter(
+        self, name: str, source: str, t_fs: int, values: Dict[str, Any]
+    ) -> None:
         self.out.append({
             "ph": "C", "cat": "sample", "name": name,
             "pid": 1, "tid": self.tid(source), "ts": _us(t_fs),
@@ -121,7 +149,9 @@ class _PerfettoBuilder:
         })
 
 
-def build_perfetto(events, process_name="repro-dpm"):
+def build_perfetto(
+    events: Sequence[TraceEvent], process_name: str = "repro-dpm"
+) -> Dict[str, Any]:
     """Convert tracer events into a Chrome-trace JSON document (dict)."""
     builder = _PerfettoBuilder(process_name)
     # Open slices keyed by source: PSM residency per IP, bus ownership
@@ -205,7 +235,11 @@ def build_perfetto(events, process_name="repro-dpm"):
     return {"traceEvents": builder.out, "displayTimeUnit": "ms"}
 
 
-def write_perfetto(events, path, process_name="repro-dpm"):
+def write_perfetto(
+    events: Sequence[TraceEvent],
+    path: Union[str, Path],
+    process_name: str = "repro-dpm",
+) -> int:
     """Write a Chrome-trace JSON file; returns the trace-event count."""
     document = build_perfetto(events, process_name=process_name)
     with open(path, "w", encoding="utf-8") as handle:

@@ -21,7 +21,7 @@ and serialized by a sink (:mod:`repro.obs.sinks`) after the run ends.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.obs.events import expand_event_filter
 
@@ -33,19 +33,23 @@ class TraceEvent:
 
     __slots__ = ("t_fs", "kind", "source", "fields")
 
-    def __init__(self, t_fs, kind, source, fields):
+    def __init__(
+        self, t_fs: int, kind: str, source: str, fields: Dict[str, Any]
+    ) -> None:
         self.t_fs = t_fs
         self.kind = kind
         self.source = source
         self.fields = fields
 
-    def to_dict(self):
+    def to_dict(self) -> Dict[str, Any]:
         """Flat mapping a sink writes (envelope merged with payload)."""
-        data = {"t_fs": int(self.t_fs), "kind": self.kind, "source": self.source}
+        data: Dict[str, Any] = {
+            "t_fs": int(self.t_fs), "kind": self.kind, "source": self.source,
+        }
         data.update(self.fields)
         return data
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"TraceEvent(t_fs={int(self.t_fs)}, kind={self.kind!r}, "
             f"source={self.source!r}, fields={self.fields!r})"
@@ -63,19 +67,19 @@ class Tracer:
 
     __slots__ = ("events", "_filter")
 
-    def __init__(self, events: Optional[Iterable[str]] = None):
+    def __init__(self, events: Optional[Iterable[str]] = None) -> None:
         self.events: List[TraceEvent] = []
         self._filter = expand_event_filter(events)
 
-    def emit(self, t_fs, kind, source, /, **fields):
+    def emit(self, t_fs: int, kind: str, source: str, /, **fields: Any) -> None:
         # Envelope params are positional-only: payload fields may legally be
         # called "source" (psm.transition) without colliding.
         if self._filter is not None and kind not in self._filter:
             return
         self.events.append(TraceEvent(t_fs, kind, source, fields))
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self.events)
 
-    def to_dicts(self):
+    def to_dicts(self) -> List[Dict[str, Any]]:
         return [event.to_dict() for event in self.events]

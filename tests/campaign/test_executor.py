@@ -294,3 +294,74 @@ class TestCampaignAccuracy:
     def test_unknown_accuracy_rejected(self):
         with pytest.raises(CampaignError):
             small_spec(accuracy="sloppy")
+
+
+class TestPreflight:
+    """Reach-lint preflight over a campaign's platform scenarios."""
+
+    def platform_grid(self, scenario):
+        return CampaignSpec.from_dict({
+            "name": "preflight-grid",
+            "scenarios": [scenario],
+            "setups": ["paper"],
+            "seeds": [1],
+        })
+
+    def bad_platform(self):
+        # Covers only a sliver of the context space: RULES-UNCOVERED at
+        # error severity even after the trajectory envelope sharpens it
+        # (medium/low battery is reachable on the default battery).
+        return {
+            "format": "repro-platform/1",
+            "name": "bad-rules",
+            "ips": [{"name": "cpu", "workload": {
+                "kind": "periodic", "task_count": 4,
+                "cycles": 10_000, "idle_us": 200.0,
+            }}],
+            "policy": {"name": "paper", "rules": [
+                {"state": "ON1", "priorities": ["high"]},
+            ]},
+            "battery": {"state_of_charge": 0.4, "capacity_j": 50.0},
+        }
+
+    def test_clean_platform_passes_with_summary_line(self):
+        from repro.campaign import preflight_campaign
+
+        lines = preflight_campaign(self.platform_grid("iot-duty-cycle"))
+        assert len(lines) == 1
+        assert lines[0].startswith("preflight ok: iot-duty-cycle")
+
+    def test_paper_row_scenarios_are_not_preflighted(self):
+        from repro.campaign import preflight_campaign
+
+        # A1 normalizes to a single_ip grid cell, not a platform spec.
+        assert preflight_campaign(self.platform_grid("A1")) == []
+
+    def test_error_findings_fail_fast(self, tmp_path):
+        from repro.campaign import preflight_campaign
+
+        spec = self.platform_grid({"kind": "platform", "spec": self.bad_platform()})
+        with pytest.raises(CampaignError, match="preflight.*bad-rules"):
+            preflight_campaign(spec)
+        # run_campaign applies the same gate before executing anything.
+        with pytest.raises(CampaignError, match="preflight"):
+            run_campaign(spec, tmp_path / "camp", workers=1)
+        assert not (tmp_path / "camp").exists() or not any(
+            (tmp_path / "camp").rglob("*.json")
+        )
+
+    def test_preflight_can_be_disabled(self, tmp_path):
+        spec = self.platform_grid({"kind": "platform", "spec": self.bad_platform()})
+        summary = run_campaign(spec, tmp_path / "camp", workers=1, preflight=False)
+        assert summary.ok == 1
+
+    def test_duplicate_platforms_checked_once(self):
+        from repro.campaign import preflight_campaign
+
+        spec = CampaignSpec.from_dict({
+            "name": "dupes",
+            "scenarios": ["iot-duty-cycle", "iot-duty-cycle"],
+            "setups": ["paper"],
+            "seeds": [1, 2],
+        })
+        assert len(preflight_campaign(spec)) == 1

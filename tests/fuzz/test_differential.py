@@ -110,6 +110,47 @@ class TestRunDifferential:
         assert result.ok, result.summary()
 
 
+class TestLintReachOracle:
+    def test_decisions_contained_in_static_envelope(self):
+        result = run_differential(tiny_spec(), oracles=["lint_reach"])
+        assert result.ok, result.summary()
+        verdict = result.verdicts[0]
+        assert verdict.status == "pass"
+        assert "contained" in verdict.detail
+
+    def test_part_of_the_default_oracle_set(self):
+        assert "lint_reach" in ALL_ORACLES
+
+    def test_shadowed_custom_rule_never_fires(self):
+        from repro.dpm.rules import paper_rule_table
+
+        rules = paper_rule_table().as_dicts()
+        rules.append({
+            "state": "SL4", "priorities": ["low"], "batteries": ["full"],
+            "temperatures": ["low"], "buses": ["high"], "label": "dead",
+        })
+        spec = tiny_spec(policy={"name": "paper", "rules": rules})
+        result = run_differential(spec, oracles=["lint_reach"])
+        assert result.ok, result.summary()
+
+    def test_lint_errors_on_the_spec_are_advisory(self):
+        # A structurally over-committed bus is an error-severity lint
+        # finding, but the generator produces such platforms legitimately:
+        # the oracle reports it without failing (only static/dynamic
+        # disagreement fails).
+        spec = bus_spec()
+        spec = PlatformSpec.from_dict({
+            **spec.to_dict(),
+            "bus": {"enabled": True, "words_per_second": 20_000.0},
+        })
+        from repro.lint import lint_spec
+
+        assert lint_spec(spec).errors  # precondition: really an error
+        result = run_differential(spec, oracles=["lint_reach"])
+        assert result.ok, result.summary()
+        assert "advisory" in result.verdicts[0].detail
+
+
 class TestPolicyOracle:
     def test_micro_workload_deficit_stays_within_transition_overhead(self):
         # 4 tiny tasks with 50 us gaps: sleeping is a net loss, but the loss

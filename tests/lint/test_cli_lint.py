@@ -55,6 +55,17 @@ class TestLintExitCodes:
     def test_clean_file_exit_0(self, tmp_path):
         assert main(["lint", write_spec(tmp_path, "clean")]) == 0
 
+    def test_reach_flag_reports_trajectory_dead_rules(self, capsys):
+        # Info severity: exit 0, but the envelope findings are printed.
+        assert main(["lint", "A1", "--reach"]) == 0
+        out = capsys.readouterr().out
+        assert "RULE-DEAD-TRAJECTORY" in out
+
+    def test_reach_sweep_over_registered_platforms(self, capsys):
+        assert main(["lint", "--reach"]) == 0
+        out = capsys.readouterr().out
+        assert "A1:" in out and "RULE-DEAD-TRAJECTORY" in out
+
     def test_unknown_platform_exit_2(self, capsys):
         assert main(["lint", "no-such-platform"]) == 2
         assert "no-such-platform" in capsys.readouterr().err

@@ -29,6 +29,18 @@ class TestPaperScenarios:
         assert result.fire_counts.get(5, 0) == 0
         # Every decision was replayed against the same table the run used.
         assert sum(result.fire_counts.values()) == result.decision_count
+        # The trajectory envelope ran and contained every decision; the
+        # narrow paper platforms always leave some Table 1 rows dead.
+        assert result.reach_checked
+        assert result.trajectory_dead
+        for index in result.trajectory_dead:
+            assert result.fire_counts.get(index, 0) == 0
+
+    def test_reach_can_be_disabled(self, tmp_path):
+        result = crosscheck_scenario("A1", trace_dir=tmp_path, reach=False)
+        assert result.ok
+        assert not result.reach_checked
+        assert result.trajectory_dead == ()
 
     def test_sweep_helper_covers_all_six(self, tmp_path):
         results = crosscheck_paper_platforms(names=("A1",), trace_dir=tmp_path)

@@ -1,0 +1,131 @@
+"""Interval arithmetic and crossing-time solvers behind the reach engine."""
+
+import math
+
+import pytest
+
+from repro.lint.intervals import (
+    Interval,
+    exp_crossing_time,
+    exp_value,
+    linear_crossing_time,
+)
+
+
+class TestInterval:
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            Interval(1.0, 0.0)
+
+    def test_point_and_width(self):
+        interval = Interval.point(3.5)
+        assert interval.lo == interval.hi == 3.5
+        assert interval.width == 0.0
+        assert Interval(1.0, 4.0).width == 3.0
+
+    def test_contains_is_inclusive(self):
+        interval = Interval(0.0, 1.0)
+        assert interval.contains(0.0)
+        assert interval.contains(1.0)
+        assert interval.contains(0.5)
+        assert not interval.contains(-1e-9)
+        assert not interval.contains(1.0 + 1e-9)
+
+    def test_hull(self):
+        assert Interval(0.0, 1.0).hull(Interval(3.0, 4.0)) == Interval(0.0, 4.0)
+        assert Interval(2.0, 5.0).hull(Interval(1.0, 3.0)) == Interval(1.0, 5.0)
+
+    def test_expand(self):
+        assert Interval(1.0, 2.0).expand(below=0.5, above=0.25) == Interval(0.5, 2.25)
+        with pytest.raises(ValueError):
+            Interval(1.0, 2.0).expand(below=-0.1)
+        with pytest.raises(ValueError):
+            Interval(1.0, 2.0).expand(above=-0.1)
+
+    def test_clamp_inside_and_partial(self):
+        assert Interval(0.0, 10.0).clamp(2.0, 4.0) == Interval(2.0, 4.0)
+        assert Interval(3.0, 10.0).clamp(0.0, 5.0) == Interval(3.0, 5.0)
+
+    def test_clamp_disjoint_collapses_to_nearer_bound(self):
+        # Entirely below the clamp window -> collapses to its lower edge.
+        assert Interval(-2.0, -1.0).clamp(0.0, 1.0) == Interval.point(0.0)
+        # Entirely above -> collapses to the upper edge.
+        assert Interval(5.0, 6.0).clamp(0.0, 1.0) == Interval.point(1.0)
+
+    def test_widen_stable_bounds_are_kept(self):
+        old = Interval(0.2, 0.8)
+        new = Interval(0.3, 0.7)  # contained: nothing escapes
+        assert old.widen(new, lo_limit=0.0, hi_limit=1.0) == Interval(0.2, 0.8)
+
+    def test_widen_escaping_bounds_jump_to_limits(self):
+        old = Interval(0.4, 0.6)
+        widened = old.widen(Interval(0.3, 0.9), lo_limit=0.0, hi_limit=1.0)
+        # Both bounds escaped, so both jump straight to the limits: a
+        # widening chain terminates after one step per escaping bound.
+        assert widened == Interval(0.0, 1.0)
+        # And widening is idempotent at the limits.
+        assert widened.widen(Interval(0.1, 0.95), 0.0, 1.0) == widened
+
+
+class TestLinearCrossing:
+    def test_downward_crossing(self):
+        # start 1.0, rate -0.1/s, threshold 0.5 -> 5 s
+        assert linear_crossing_time(1.0, -0.1, 0.5) == pytest.approx(5.0)
+
+    def test_upward_crossing(self):
+        assert linear_crossing_time(0.0, 2.0, 10.0) == pytest.approx(5.0)
+
+    def test_already_past_in_direction_of_travel_is_zero(self):
+        assert linear_crossing_time(0.4, -0.1, 0.5) == 0.0
+        assert linear_crossing_time(12.0, 2.0, 10.0) == 0.0
+
+    def test_moving_away_counts_as_already_past(self):
+        # Entry bounds are sound over-approximations: a trajectory at or
+        # beyond the threshold in its direction of travel "entered" at 0.
+        assert linear_crossing_time(1.0, 0.1, 0.5) == 0.0
+        assert linear_crossing_time(0.0, -1.0, 10.0) == 0.0
+
+    def test_zero_rate(self):
+        assert linear_crossing_time(0.5, 0.0, 0.5) == 0.0
+        assert linear_crossing_time(0.4, 0.0, 0.5) is None
+
+
+class TestExpValue:
+    def test_zero_or_negative_time_is_start(self):
+        assert exp_value(20.0, 80.0, 10.0, 0.0) == 20.0
+        assert exp_value(20.0, 80.0, 10.0, -1.0) == 20.0
+
+    def test_nonpositive_tau_jumps_to_steady(self):
+        assert exp_value(20.0, 80.0, 0.0, 1e-9) == 80.0
+
+    def test_relaxation_toward_steady(self):
+        # After one time constant: start + (1 - 1/e) of the gap.
+        value = exp_value(20.0, 80.0, 10.0, 10.0)
+        assert value == pytest.approx(20.0 + 60.0 * (1.0 - math.exp(-1.0)))
+        # Monotone toward, never past, the steady state.
+        assert 20.0 < value < 80.0
+        assert exp_value(20.0, 80.0, 10.0, 1e6) == pytest.approx(80.0)
+
+
+class TestExpCrossing:
+    def test_crossing_matches_closed_form(self):
+        t = exp_crossing_time(20.0, 80.0, 10.0, 50.0)
+        assert t is not None
+        assert exp_value(20.0, 80.0, 10.0, t) == pytest.approx(50.0)
+
+    def test_start_at_threshold_is_zero(self):
+        assert exp_crossing_time(50.0, 80.0, 10.0, 50.0) == 0.0
+
+    def test_threshold_beyond_steady_never_crossed(self):
+        # Relaxing up toward 80 never reaches 90 (ratio <= 0).
+        assert exp_crossing_time(20.0, 80.0, 10.0, 90.0) is None
+        # Cooling toward 20 never reaches 10.
+        assert exp_crossing_time(80.0, 20.0, 10.0, 10.0) is None
+
+    def test_nonpositive_tau_is_instantaneous(self):
+        assert exp_crossing_time(20.0, 80.0, 0.0, 50.0) == 0.0
+
+    def test_cooling_direction(self):
+        t = exp_crossing_time(80.0, 20.0, 5.0, 40.0)
+        assert t is not None and t > 0.0
+        assert exp_value(80.0, 20.0, 5.0, t) == pytest.approx(40.0)

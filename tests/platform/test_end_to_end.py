@@ -402,7 +402,11 @@ class TestBusPlatforms:
                 "setups": ["paper"],
             }
         )
-        summary = run_campaign(spec, str(tmp_path / "campaign"), workers=1)
+        # The contended platform trips the reach-lint preflight by design
+        # (BUS-SATURATED is an error finding); bypass the gate explicitly.
+        summary = run_campaign(
+            spec, str(tmp_path / "campaign"), workers=1, preflight=False,
+        )
         assert summary.ok == 1 and summary.errors == 0
         from repro.campaign import ResultStore
 

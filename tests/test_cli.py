@@ -22,7 +22,7 @@ class TestParser:
         parser = build_parser()
         text = parser.format_help()
         for command in ("table2", "scenario", "rules", "sweep", "speed", "breakeven",
-                        "report", "campaign"):
+                        "report", "campaign", "reach"):
             assert command in text
 
 
@@ -129,6 +129,32 @@ class TestScenarioCommands:
         assert "Saving % (paper)" in out
 
 
+class TestReachCommand:
+    def test_registered_platform_prints_envelope(self, capsys):
+        assert main(["reach", "A1"]) == 0
+        out = capsys.readouterr().out
+        assert "reach: A1" in out
+        assert "battery" in out and "thermal" in out
+        assert "iterations" in out
+
+    def test_spec_file(self, tmp_path, capsys):
+        path = tmp_path / "p.json"
+        path.write_text(json.dumps({
+            "format": "repro-platform/1",
+            "name": "filed",
+            "ips": [{"name": "cpu", "workload": {
+                "kind": "periodic", "task_count": 4,
+                "cycles": 10000, "idle_us": 200.0,
+            }}],
+        }))
+        assert main(["reach", str(path)]) == 0
+        assert "reach: filed" in capsys.readouterr().out
+
+    def test_unknown_platform_exit_2(self, capsys):
+        assert main(["reach", "no-such-platform"]) == 2
+        assert "no-such-platform" in capsys.readouterr().err
+
+
 class TestCampaignCommand:
     @pytest.fixture
     def spec_file(self, tmp_path):
@@ -192,6 +218,44 @@ class TestCampaignCommand:
         out = capsys.readouterr().out
         assert "0 executed" in out
         assert "4 skipped" in out
+
+    def test_platform_grid_preflight_prints_and_gates(self, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps({
+            "name": "platform-grid",
+            "scenarios": ["iot-duty-cycle"],
+            "setups": ["paper"],
+            "seeds": [1],
+        }))
+        directory = str(tmp_path / "camp")
+        assert main(["campaign", "run", str(good), "--dir", directory]) == 0
+        assert "preflight ok: iot-duty-cycle" in capsys.readouterr().out
+
+    def test_preflight_failure_is_a_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({
+            "name": "bad-grid",
+            "scenarios": [{"kind": "platform", "spec": {
+                "format": "repro-platform/1",
+                "name": "bad-rules",
+                "ips": [{"name": "cpu", "workload": {
+                    "kind": "periodic", "task_count": 4,
+                    "cycles": 10000, "idle_us": 200.0,
+                }}],
+                "policy": {"name": "paper",
+                           "rules": [{"state": "ON1", "priorities": ["high"]}]},
+                "battery": {"state_of_charge": 0.4, "capacity_j": 50.0},
+            }}],
+            "setups": ["paper"],
+            "seeds": [1],
+        }))
+        directory = str(tmp_path / "camp")
+        assert main(["campaign", "run", str(bad), "--dir", directory]) == 2
+        err = capsys.readouterr().err
+        assert "preflight" in err and "bad-rules" in err
+        # --no-preflight bypasses the gate.
+        assert main(["campaign", "run", str(bad), "--dir", directory,
+                     "--no-preflight", "--quiet"]) == 0
 
     def test_report_ignores_records_dropped_from_the_grid(self, tmp_path, capsys):
         def spec_with_seeds(seeds):
